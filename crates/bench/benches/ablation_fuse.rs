@@ -1,0 +1,89 @@
+//! Ablations of FUSE's design choices beyond the paper's own sweeps:
+//!
+//! * swap-buffer depth (paper fixes 3) and tag-queue depth (paper fixes
+//!   16) — how much non-blocking hardware the design actually needs;
+//! * the predictor's `unused_th` WORO threshold (paper tunes to 14);
+//! * MSHR entries — the memory-level-parallelism the L1 can sustain.
+//!
+//! Each sweep runs Dy-FUSE on two representative workloads (one irregular
+//! read-dominated, one write-heavy) and reports IPC relative to the
+//! paper's configuration.
+
+use fuse::runner::{run_l1_config, RunConfig};
+use fuse_bench::table::f;
+use fuse_bench::{bench_config, Table};
+use fuse_core::config::{L1Preset, NonBlocking, Placement};
+use fuse_predict::read_level::ReadLevelConfig;
+use fuse_workloads::by_name;
+
+const WORKLOADS: [&str; 2] = ["ATAX", "PVC"];
+
+fn run_row(label: &str, cfg: &fuse_core::config::L1Config, rc: &RunConfig, base: &[f64]) -> Vec<String> {
+    let mut row = vec![label.to_string()];
+    for (i, w) in WORKLOADS.iter().enumerate() {
+        let spec = by_name(w).expect("known workload");
+        let r = run_l1_config(&spec, cfg, label, rc);
+        row.push(f(r.ipc() / base[i], 3));
+    }
+    row
+}
+
+fn baseline_ipcs(rc: &RunConfig) -> Vec<f64> {
+    let cfg = L1Preset::DyFuse.config();
+    WORKLOADS
+        .iter()
+        .map(|w| {
+            let spec = by_name(w).expect("known workload");
+            run_l1_config(&spec, &cfg, "Dy-FUSE", rc).ipc()
+        })
+        .collect()
+}
+
+fn main() {
+    let rc = bench_config();
+    let base = baseline_ipcs(&rc);
+    let headers: Vec<&str> = std::iter::once("variant").chain(WORKLOADS).collect();
+
+    let mut t = Table::new("Ablation — swap-buffer depth (paper: 3), IPC vs paper config");
+    t.headers(&headers);
+    for entries in [1usize, 2, 3, 8] {
+        let mut cfg = L1Preset::DyFuse.config();
+        cfg.non_blocking = Some(NonBlocking { swap_entries: entries, ..NonBlocking::default() });
+        t.row(run_row(&format!("swap={entries}"), &cfg, &rc, &base));
+    }
+    t.print();
+
+    let mut t = Table::new("Ablation — tag-queue depth (paper: 16), IPC vs paper config");
+    t.headers(&headers);
+    for entries in [2usize, 8, 16, 64] {
+        let mut cfg = L1Preset::DyFuse.config();
+        cfg.non_blocking =
+            Some(NonBlocking { tag_queue_entries: entries, ..NonBlocking::default() });
+        t.row(run_row(&format!("tq={entries}"), &cfg, &rc, &base));
+    }
+    t.print();
+
+    let mut t = Table::new("Ablation — WORO threshold unused_th (paper: 14), IPC vs paper config");
+    t.headers(&headers);
+    for th in [6u8, 10, 14] {
+        let mut cfg = L1Preset::DyFuse.config();
+        let mut rl = ReadLevelConfig::default();
+        rl.history.unused_threshold = th;
+        // The counter must start inside the neutral band.
+        rl.history.init_counter = rl.history.init_counter.min(th / 2);
+        cfg.placement = Placement::Predictor(rl);
+        t.row(run_row(&format!("th={th}"), &cfg, &rc, &base));
+    }
+    t.print();
+
+    let mut t = Table::new("Ablation — MSHR entries (paper: 32), IPC vs paper config");
+    t.headers(&headers);
+    for entries in [8usize, 16, 32, 64] {
+        let mut cfg = L1Preset::DyFuse.config();
+        cfg.mshr_entries = entries;
+        t.row(run_row(&format!("mshr={entries}"), &cfg, &rc, &base));
+    }
+    t.print();
+
+    println!("values are IPC normalised to the paper's Dy-FUSE configuration (1.000).");
+}

@@ -1,0 +1,56 @@
+//! Fig. 1 — overhead analysis for off-chip memory on the baseline GPU.
+//!
+//! Fig. 1a decomposes execution time into the share lost to off-chip
+//! accesses (network vs DRAM); Fig. 1b decomposes GPU energy into L2, L1D,
+//! computation and off-chip service. The paper reports 75% of execution
+//! time and 71% of energy going off chip, on average.
+
+use fuse::core::config::L1Preset;
+use fuse::runner::run_workload;
+use fuse_bench::table::{f, pct};
+use fuse_bench::{bench_config, Table};
+use fuse_workloads::all_workloads;
+
+fn main() {
+    let rc = bench_config();
+    let mut fig1a = Table::new("Fig. 1a — execution time fraction lost to off-chip accesses (L1-SRAM baseline)");
+    fig1a.headers(&["workload", "network", "DRAM", "off-chip total", "avg net cyc", "avg mem cyc"]);
+    let mut fig1b = Table::new("Fig. 1b — GPU energy fraction (L1-SRAM baseline)");
+    fig1b.headers(&["workload", "L2$", "L1D$", "compute (SM)", "off-chip"]);
+
+    let mut exec_fracs = Vec::new();
+    let mut energy_fracs = Vec::new();
+    for w in all_workloads() {
+        let r = run_workload(&w, L1Preset::L1Sram, &rc);
+        let (net, dram) = r.sim.offchip_decomposition();
+        exec_fracs.push(net + dram);
+        fig1a.row(vec![
+            w.name.to_string(),
+            pct(net),
+            pct(dram),
+            pct(net + dram),
+            f(r.sim.avg_net_cycles(), 0),
+            f(r.sim.avg_mem_cycles(), 0),
+        ]);
+        let e = &r.energy;
+        let total = e.total_nj();
+        energy_fracs.push(e.offchip_fraction());
+        fig1b.row(vec![
+            w.name.to_string(),
+            pct(e.l2_nj / total),
+            pct(e.l1_nj() / total),
+            pct(e.compute_nj / total),
+            pct(e.offchip_fraction()),
+        ]);
+    }
+    fig1a.print();
+    println!(
+        "mean off-chip execution share: {} (paper: ~75%)",
+        pct(exec_fracs.iter().sum::<f64>() / exec_fracs.len() as f64)
+    );
+    fig1b.print();
+    println!(
+        "mean off-chip energy share: {} (paper: ~71%)",
+        pct(energy_fracs.iter().sum::<f64>() / energy_fracs.len() as f64)
+    );
+}

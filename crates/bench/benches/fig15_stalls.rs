@@ -1,0 +1,52 @@
+//! Fig. 15 — L1D stalls caused by STT-MRAM writes vs tag searching, for
+//! Hybrid, Base-FUSE and FA-FUSE, normalised to Hybrid's STT stalls.
+//!
+//! Paper shapes: Base-FUSE removes ~78% of Hybrid's stalls (swap buffer +
+//! tag queue); FA-FUSE removes ~18% more; the tag-search stalls FA-FUSE
+//! introduces are only ~3% of Hybrid's STT stalls.
+
+use fuse::core::config::L1Preset;
+use fuse::runner::run_workload;
+use fuse_bench::table::f;
+use fuse_bench::{bench_config, Table};
+use fuse_workloads::all_workloads;
+
+fn main() {
+    let rc = bench_config();
+    let mut t = Table::new("Fig. 15 — L1D stall events normalised to Hybrid's STT-MRAM stalls");
+    t.headers(&[
+        "workload",
+        "Hybrid STT",
+        "Base-FUSE STT",
+        "Base-FUSE tag",
+        "FA-FUSE STT",
+        "FA-FUSE tag",
+    ]);
+    let mut base_total = Vec::new();
+    let mut fa_tag_share = Vec::new();
+    for w in all_workloads() {
+        let hybrid = run_workload(&w, L1Preset::Hybrid, &rc);
+        let base = run_workload(&w, L1Preset::BaseFuse, &rc);
+        let fa = run_workload(&w, L1Preset::FaFuse, &rc);
+        // Hybrid's STT stall count is each workload's normalisation unit.
+        let unit = hybrid.metrics.stt_busy_rejections.max(1) as f64;
+        let (b_stt, b_tag) = base.metrics.stall_events();
+        let (f_stt, f_tag) = fa.metrics.stall_events();
+        base_total.push((b_stt + b_tag) as f64 / unit);
+        fa_tag_share.push(f_tag as f64 / unit);
+        t.row(vec![
+            w.name.to_string(),
+            f(1.0, 3),
+            f(b_stt as f64 / unit, 3),
+            f(b_tag as f64 / unit, 3),
+            f(f_stt as f64 / unit, 3),
+            f(f_tag as f64 / unit, 3),
+        ]);
+    }
+    t.print();
+    println!(
+        "Base-FUSE keeps {:.1}% of Hybrid's stalls (paper: ~22%); FA-FUSE tag-search stalls are {:.1}% of Hybrid's STT stalls (paper: ~3%)",
+        100.0 * base_total.iter().sum::<f64>() / base_total.len() as f64,
+        100.0 * fa_tag_share.iter().sum::<f64>() / fa_tag_share.len() as f64
+    );
+}

@@ -1,0 +1,54 @@
+//! Fig. 19 — the FUSE designs on a Volta-class GPU (84 SMs, 6 MB L2,
+//! ~5× memory bandwidth, 128 KB-class L1 budget).
+//!
+//! Paper shapes: the larger baseline L1 shrinks everyone's gains, but the
+//! ordering holds — Base-FUSE, FA-FUSE and Dy-FUSE improve ~35% / 82% /
+//! 96% over L1-SRAM, and By-NVM still wins on the irregular workloads.
+
+use fuse::core::config::L1Preset;
+use fuse::runner::{geomean, run_workload};
+use fuse_bench::table::f;
+use fuse_bench::{bench_volta_config, Table};
+use fuse_workloads::all_workloads;
+
+fn main() {
+    let rc = bench_volta_config();
+    let presets = [
+        L1Preset::L1Sram,
+        L1Preset::ByNvm,
+        L1Preset::Hybrid,
+        L1Preset::BaseFuse,
+        L1Preset::FaFuse,
+        L1Preset::DyFuse,
+    ];
+    let mut t = Table::new("Fig. 19 — IPC normalised to L1-SRAM on the Volta-class machine");
+    let headers: Vec<&str> =
+        std::iter::once("workload").chain(presets.iter().skip(1).map(|p| p.name())).collect();
+    t.headers(&headers);
+
+    let mut per_preset: Vec<Vec<f64>> = vec![Vec::new(); presets.len()];
+    for w in all_workloads() {
+        let runs: Vec<_> = presets.iter().map(|p| run_workload(&w, *p, &rc)).collect();
+        let base = runs[0].ipc();
+        let mut row = vec![w.name.to_string()];
+        for (i, r) in runs.iter().enumerate() {
+            per_preset[i].push(r.ipc() / base);
+            if i > 0 {
+                row.push(f(r.ipc() / base, 2));
+            }
+        }
+        t.row(row);
+    }
+    let mut gmeans = vec!["GMEANS".to_string()];
+    for series in per_preset.iter().skip(1) {
+        gmeans.push(f(geomean(series), 2));
+    }
+    t.row(gmeans);
+    t.print();
+    println!(
+        "geomean vs L1-SRAM: Base-FUSE {:.2}x, FA-FUSE {:.2}x, Dy-FUSE {:.2}x (paper: 1.35x / 1.82x / 1.96x)",
+        geomean(&per_preset[3]),
+        geomean(&per_preset[4]),
+        geomean(&per_preset[5])
+    );
+}

@@ -1,0 +1,106 @@
+//! Table I — the simulation configuration, printed for audit.
+//!
+//! These are inputs, not measurements: the bench dumps the machine model
+//! and every L1D preset so a reader can diff them against the paper's
+//! Table I line by line.
+
+use fuse_bench::table::f;
+use fuse_bench::Table;
+use fuse_core::config::{L1Preset, Placement, SttOrganization};
+use fuse_gpu::config::GpuConfig;
+
+fn main() {
+    let g = GpuConfig::gtx480();
+    let mut t = Table::new("Table I — general configuration");
+    t.headers(&["parameter", "value", "paper"]);
+    t.row(vec!["SMs".into(), g.num_sms.to_string(), "15".into()]);
+    t.row(vec!["warps/SM".into(), g.warps_per_sm.to_string(), "48".into()]);
+    t.row(vec!["threads/warp".into(), g.threads_per_warp.to_string(), "32".into()]);
+    t.row(vec!["threads/SM".into(), g.threads_per_sm().to_string(), "1536".into()]);
+    t.row(vec!["L2 banks".into(), g.l2_banks.to_string(), "12".into()]);
+    t.row(vec![
+        "L2 size".into(),
+        format!("{} KB", g.l2_banks * g.l2_sets * g.l2_ways * 128 / 1024),
+        "786 KB".into(),
+    ]);
+    t.row(vec!["L2 sets/assoc per bank".into(), format!("{}/{}", g.l2_sets, g.l2_ways), "64/8".into()]);
+    t.row(vec!["DRAM channels".into(), g.dram_channels.to_string(), "6".into()]);
+    t.row(vec![
+        "tCL/tRCD/tRAS".into(),
+        format!("{}/{}/{}", g.dram.t_cl, g.dram.t_rcd, g.dram.t_ras),
+        "12/12/28".into(),
+    ]);
+    t.row(vec!["request queue".into(), "16".into(), "16".into()]);
+    t.row(vec!["swap buffer entries".into(), "3".into(), "3".into()]);
+    t.row(vec!["CBFs / hash functions".into(), "128/3".into(), "128/3".into()]);
+    t.row(vec!["sampler assoc/sets".into(), "8/4".into(), "8/4".into()]);
+    t.row(vec!["history entries/threshold".into(), "1024/14".into(), "1024/14".into()]);
+    t.print();
+
+    let mut t = Table::new("Table I — L1D configurations");
+    t.headers(&[
+        "config",
+        "SRAM KB (sets/ways)",
+        "STT KB (org)",
+        "STT R/W cycles",
+        "SRAM R/W nJ",
+        "STT R/W nJ",
+        "leakage mW (SRAM+STT)",
+        "non-blocking",
+        "placement",
+    ]);
+    for p in L1Preset::ALL {
+        if p == L1Preset::Oracle {
+            continue;
+        }
+        let c = p.config();
+        let sram = c
+            .sram
+            .map(|s| {
+                format!("{} ({}x{})", s.sets * s.ways * 128 / 1024, s.sets, s.ways)
+            })
+            .unwrap_or_else(|| "-".into());
+        let stt = c
+            .stt
+            .map(|s| {
+                let org = match s.organization {
+                    SttOrganization::SetAssoc { sets, ways } => format!("{sets}x{ways}"),
+                    SttOrganization::Approximate(a) => format!("FA/{} CBFs", a.num_cbfs),
+                };
+                format!("{} ({org})", s.organization.lines() * 128 / 1024)
+            })
+            .unwrap_or_else(|| "-".into());
+        let stt_lat = c
+            .stt
+            .map(|s| format!("{}/{}", s.params.read_latency, s.params.write_latency))
+            .unwrap_or_else(|| "-".into());
+        let sram_e = c
+            .sram
+            .map(|s| format!("{}/{}", f(s.params.read_energy_nj, 2), f(s.params.write_energy_nj, 2)))
+            .unwrap_or_else(|| "-".into());
+        let stt_e = c
+            .stt
+            .map(|s| format!("{}/{}", f(s.params.read_energy_nj, 2), f(s.params.write_energy_nj, 2)))
+            .unwrap_or_else(|| "-".into());
+        let leak = format!(
+            "{}+{}",
+            c.sram.map(|s| f(s.params.leakage_mw, 1)).unwrap_or_else(|| "0".into()),
+            c.stt.map(|s| f(s.params.leakage_mw, 1)).unwrap_or_else(|| "0".into()),
+        );
+        t.row(vec![
+            p.name().into(),
+            sram,
+            stt,
+            stt_lat,
+            sram_e,
+            stt_e,
+            leak,
+            if c.non_blocking.is_some() { "yes".into() } else { "no".into() },
+            match c.placement {
+                Placement::SramFirst => "SRAM-first".into(),
+                Placement::Predictor(_) => "read-level predictor".into(),
+            },
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,86 @@
+//! Cache-line addressing.
+//!
+//! Every cache in the reproduction uses the GPU's 128 B line size (a warp's
+//! 32 × 4 B coalesced access — §III-A of the paper).
+
+/// Bytes per cache line (128 B, one fully coalesced warp access).
+pub const LINE_BYTES: u64 = 128;
+
+/// log2([`LINE_BYTES`]).
+pub const LINE_SHIFT: u32 = 7;
+
+/// A cache-line address: the byte address with the offset bits stripped.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_cache::line::LineAddr;
+/// let a = LineAddr::from_byte_addr(0x1234);
+/// assert_eq!(a, LineAddr::from_byte_addr(0x1270)); // same 128 B line
+/// assert_eq!(a.byte_addr(), 0x1200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Converts a byte address to its line address.
+    pub fn from_byte_addr(addr: u64) -> Self {
+        LineAddr(addr >> LINE_SHIFT)
+    }
+
+    /// The first byte address covered by this line.
+    pub fn byte_addr(self) -> u64 {
+        self.0 << LINE_SHIFT
+    }
+
+    /// A 64-bit mix of the line number, used wherever a hash of the address
+    /// is needed (Bloom filters, DRAM bank interleave, irregular-pattern
+    /// generation). SplitMix64 finalizer.
+    pub fn mix(self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(line_number: u64) -> Self {
+        LineAddr(line_number)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip_strips_offset() {
+        let a = LineAddr::from_byte_addr(0x1234);
+        assert_eq!(a.0, 0x1234 >> 7);
+        assert_eq!(a.byte_addr(), 0x1200);
+    }
+
+    #[test]
+    fn same_line_for_all_offsets() {
+        let base = LineAddr::from_byte_addr(0x8000);
+        for off in 0..LINE_BYTES {
+            assert_eq!(LineAddr::from_byte_addr(0x8000 + off), base);
+        }
+        assert_ne!(LineAddr::from_byte_addr(0x8000 + LINE_BYTES), base);
+    }
+
+    #[test]
+    fn mix_spreads_adjacent_lines() {
+        let a = LineAddr(1).mix();
+        let b = LineAddr(2).mix();
+        assert_ne!(a, b);
+        assert_ne!(a & 0xFFFF, b & 0xFFFF, "low bits should differ after mixing");
+    }
+}

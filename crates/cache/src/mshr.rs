@@ -1,0 +1,201 @@
+//! Miss-status holding registers (MSHR).
+//!
+//! The L1D is non-blocking: misses allocate an MSHR entry and secondary
+//! misses to the same line merge into it (§II-A1). FUSE extends the classic
+//! MSHR table's *destination bits* so a fill can be routed to the SRAM bank,
+//! the STT-MRAM bank, or straight to the core (bypass) — §IV-A, Fig. 8.
+
+use crate::line::LineAddr;
+
+/// Where a fill must be delivered (the paper's extended destination bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FillDest {
+    /// Allocate in the SRAM bank.
+    #[default]
+    Sram,
+    /// Allocate in the STT-MRAM bank.
+    Stt,
+    /// Deliver to the core only; do not allocate (WORO / dead-write bypass).
+    Bypass,
+}
+
+/// One merged requester waiting on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrTarget {
+    /// SM-local warp index to wake.
+    pub warp: u16,
+    /// Whether the requester was a store (affects dirty state on fill).
+    pub is_store: bool,
+    /// The PC signature of the instruction, for predictor training on fill.
+    pub pc_sig: u16,
+}
+
+/// Outcome of an allocation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the miss must be sent down the hierarchy.
+    NewMiss,
+    /// Merged into an existing entry for the same line; no new traffic.
+    Merged,
+    /// No free entry (structural hazard) — the access must be retried.
+    FullEntries,
+    /// The entry for this line cannot take more targets — retry.
+    FullTargets,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    line: LineAddr,
+    dest: FillDest,
+    targets: Vec<MshrTarget>,
+}
+
+/// The MSHR table.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_cache::mshr::{Mshr, MshrOutcome, MshrTarget, FillDest};
+/// use fuse_cache::line::LineAddr;
+///
+/// let mut mshr = Mshr::new(4, 8);
+/// let t = MshrTarget { warp: 0, is_store: false, pc_sig: 0 };
+/// assert_eq!(mshr.allocate(LineAddr(1), t, FillDest::Sram), MshrOutcome::NewMiss);
+/// assert_eq!(mshr.allocate(LineAddr(1), t, FillDest::Sram), MshrOutcome::Merged);
+/// let (dest, targets) = mshr.complete(LineAddr(1)).unwrap();
+/// assert_eq!(dest, FillDest::Sram);
+/// assert_eq!(targets.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    entries: Vec<Entry>,
+    capacity: usize,
+    max_targets: usize,
+    peak_occupancy: usize,
+}
+
+impl Mshr {
+    /// Creates a table with `capacity` entries of up to `max_targets`
+    /// merged requesters each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(capacity: usize, max_targets: usize) -> Self {
+        assert!(capacity > 0 && max_targets > 0, "MSHR geometry must be non-zero");
+        Mshr { entries: Vec::new(), capacity, max_targets, peak_occupancy: 0 }
+    }
+
+    /// Current number of outstanding lines.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Highest occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// True if a miss for `line` is already outstanding.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Destination recorded for an outstanding line.
+    pub fn dest_of(&self, line: LineAddr) -> Option<FillDest> {
+        self.entries.iter().find(|e| e.line == line).map(|e| e.dest)
+    }
+
+    /// Attempts to allocate or merge a miss.
+    ///
+    /// The first requester of a line fixes the fill destination; later
+    /// merges keep it (the fill routing was already decided when the
+    /// request left for L2 — §IV-A).
+    pub fn allocate(&mut self, line: LineAddr, target: MshrTarget, dest: FillDest) -> MshrOutcome {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            if e.targets.len() >= self.max_targets {
+                return MshrOutcome::FullTargets;
+            }
+            e.targets.push(target);
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::FullEntries;
+        }
+        self.entries.push(Entry { line, dest, targets: vec![target] });
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        MshrOutcome::NewMiss
+    }
+
+    /// Retires the entry for `line` when its fill arrives, returning the
+    /// destination bits and every merged requester to wake.
+    pub fn complete(&mut self, line: LineAddr) -> Option<(FillDest, Vec<MshrTarget>)> {
+        let idx = self.entries.iter().position(|e| e.line == line)?;
+        let e = self.entries.swap_remove(idx);
+        Some((e.dest, e.targets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(warp: u16) -> MshrTarget {
+        MshrTarget { warp, is_store: false, pc_sig: 0 }
+    }
+
+    #[test]
+    fn allocate_then_complete() {
+        let mut m = Mshr::new(2, 4);
+        assert_eq!(m.allocate(LineAddr(1), t(0), FillDest::Stt), MshrOutcome::NewMiss);
+        assert!(m.contains(LineAddr(1)));
+        assert_eq!(m.dest_of(LineAddr(1)), Some(FillDest::Stt));
+        let (dest, targets) = m.complete(LineAddr(1)).unwrap();
+        assert_eq!(dest, FillDest::Stt);
+        assert_eq!(targets, vec![t(0)]);
+        assert!(!m.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn merges_do_not_create_traffic() {
+        let mut m = Mshr::new(2, 4);
+        m.allocate(LineAddr(1), t(0), FillDest::Sram);
+        assert_eq!(m.allocate(LineAddr(1), t(1), FillDest::Stt), MshrOutcome::Merged);
+        // First requester fixed the destination.
+        assert_eq!(m.dest_of(LineAddr(1)), Some(FillDest::Sram));
+        assert_eq!(m.occupancy(), 1);
+        let (_, targets) = m.complete(LineAddr(1)).unwrap();
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn entry_capacity_enforced() {
+        let mut m = Mshr::new(2, 4);
+        m.allocate(LineAddr(1), t(0), FillDest::Sram);
+        m.allocate(LineAddr(2), t(0), FillDest::Sram);
+        assert_eq!(m.allocate(LineAddr(3), t(0), FillDest::Sram), MshrOutcome::FullEntries);
+        assert_eq!(m.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn target_capacity_enforced() {
+        let mut m = Mshr::new(2, 2);
+        m.allocate(LineAddr(1), t(0), FillDest::Sram);
+        m.allocate(LineAddr(1), t(1), FillDest::Sram);
+        assert_eq!(m.allocate(LineAddr(1), t(2), FillDest::Sram), MshrOutcome::FullTargets);
+        // But a different line still allocates.
+        assert_eq!(m.allocate(LineAddr(2), t(2), FillDest::Sram), MshrOutcome::NewMiss);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_none() {
+        let mut m = Mshr::new(1, 1);
+        assert!(m.complete(LineAddr(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_geometry_rejected() {
+        let _ = Mshr::new(0, 1);
+    }
+}

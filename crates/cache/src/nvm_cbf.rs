@@ -1,0 +1,168 @@
+//! NVM-resident counting-Bloom-filter array (§IV-C, Fig. 12d).
+//!
+//! FUSE keeps its CBFs in a small STT-MRAM 2D MTJ island so they do not eat
+//! SRAM area. All CBFs share peripherals: a *test* activates every filter's
+//! hashed counters in parallel and senses them against a zero/non-zero
+//! reference in a single STT read (the paper measures 591 ps — under one
+//! cache cycle); increments/decrements ride on the Y-port and overlap the
+//! corresponding data-array write.
+//!
+//! This module wraps one [`CountingBloomFilter`] per tag-array partition and
+//! tracks the event counts the energy model and Fig. 20 need.
+
+use crate::bloom::CountingBloomFilter;
+use crate::line::LineAddr;
+
+/// Statistics of CBF usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CbfStats {
+    /// Whole-array test operations (one per probe; all CBFs in parallel).
+    pub tests: u64,
+    /// Per-filter positive responses across all tests.
+    pub positives: u64,
+    /// Positives that turned out not to contain the key (measured by the
+    /// caller via [`NvmCbfArray::record_false_positive`]).
+    pub false_positives: u64,
+    /// Counter increment operations.
+    pub increments: u64,
+    /// Counter decrement operations.
+    pub decrements: u64,
+}
+
+impl CbfStats {
+    /// False positives per individual filter test (Fig. 20's y-axis).
+    ///
+    /// Returns 0 for an unused array rather than NaN.
+    pub fn false_positive_rate(&self, filters: usize) -> f64 {
+        let filter_tests = self.tests.saturating_mul(filters as u64);
+        if filter_tests == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / filter_tests as f64
+        }
+    }
+}
+
+/// An array of counting Bloom filters, one per tag partition.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_cache::nvm_cbf::NvmCbfArray;
+/// use fuse_cache::line::LineAddr;
+/// let mut a = NvmCbfArray::new(8, 16, 3, 2);
+/// a.increment(2, LineAddr(77));
+/// let positives = a.test_all(LineAddr(77));
+/// assert!(positives.contains(&2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NvmCbfArray {
+    filters: Vec<CountingBloomFilter>,
+    stats: CbfStats,
+}
+
+impl NvmCbfArray {
+    /// Creates `num_filters` CBFs of `slots` counters (`counter_bits` wide)
+    /// and `hashes` hash functions each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_filters` is zero (inner geometry is validated by
+    /// [`CountingBloomFilter::new`]).
+    pub fn new(num_filters: usize, slots: usize, hashes: u32, counter_bits: u32) -> Self {
+        assert!(num_filters > 0, "need at least one filter");
+        NvmCbfArray {
+            filters: (0..num_filters)
+                .map(|_| CountingBloomFilter::new(slots, hashes, counter_bits))
+                .collect(),
+            stats: CbfStats::default(),
+        }
+    }
+
+    /// Number of filters (= tag partitions).
+    pub fn num_filters(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Tests every filter in parallel (one NVM-CBF *test* operation) and
+    /// returns the indices of the positive partitions, in index order.
+    pub fn test_all(&mut self, line: LineAddr) -> Vec<usize> {
+        self.stats.tests += 1;
+        let positives: Vec<usize> = self
+            .filters
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.test(line))
+            .map(|(i, _)| i)
+            .collect();
+        self.stats.positives += positives.len() as u64;
+        positives
+    }
+
+    /// Records that the positive response of some partition was false
+    /// (caller discovers this while polling tags).
+    pub fn record_false_positive(&mut self) {
+        self.stats.false_positives += 1;
+    }
+
+    /// Inserts `line` into partition `p`'s filter.
+    pub fn increment(&mut self, p: usize, line: LineAddr) {
+        self.stats.increments += 1;
+        self.filters[p].increment(line);
+    }
+
+    /// Removes `line` from partition `p`'s filter.
+    pub fn decrement(&mut self, p: usize, line: LineAddr) {
+        self.stats.decrements += 1;
+        self.filters[p].decrement(line);
+    }
+
+    /// Usage statistics.
+    pub fn stats(&self) -> CbfStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_test_positive_in_their_partition() {
+        let mut a = NvmCbfArray::new(4, 16, 3, 2);
+        a.increment(1, LineAddr(10));
+        a.increment(3, LineAddr(20));
+        assert!(a.test_all(LineAddr(10)).contains(&1));
+        assert!(a.test_all(LineAddr(20)).contains(&3));
+    }
+
+    #[test]
+    fn removal_clears_partition() {
+        let mut a = NvmCbfArray::new(4, 16, 3, 2);
+        a.increment(0, LineAddr(10));
+        a.decrement(0, LineAddr(10));
+        assert!(!a.test_all(LineAddr(10)).contains(&0));
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let mut a = NvmCbfArray::new(2, 16, 3, 2);
+        a.increment(0, LineAddr(1));
+        a.test_all(LineAddr(1));
+        a.test_all(LineAddr(2));
+        a.record_false_positive();
+        a.decrement(0, LineAddr(1));
+        let s = a.stats();
+        assert_eq!(s.tests, 2);
+        assert_eq!(s.increments, 1);
+        assert_eq!(s.decrements, 1);
+        assert_eq!(s.false_positives, 1);
+        assert!(s.false_positive_rate(2) > 0.0);
+    }
+
+    #[test]
+    fn empty_array_rate_is_zero() {
+        let a = NvmCbfArray::new(2, 16, 3, 2);
+        assert_eq!(a.stats().false_positive_rate(2), 0.0);
+    }
+}

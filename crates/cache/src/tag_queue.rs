@@ -1,0 +1,210 @@
+//! Tag queue (§IV-A).
+//!
+//! A 16-entry FIFO of pending STT-MRAM operations — command type, tag and
+//! index — that makes the STT bank non-blocking: the SM pipeline keeps
+//! issuing while STT reads and swap-buffer migrations ("F" commands) wait
+//! here for the bank. A write *update* to STT-MRAM data (a read-level
+//! misprediction) cannot wait in the queue because the queue holds only
+//! meta-information, not the 128 B payload; the controller must flush the
+//! queue and perform the write (the paper measures this on ~7% of requests).
+
+use crate::line::LineAddr;
+
+/// What a queued tag-queue entry will do when it reaches the STT bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagCmdKind {
+    /// STT read for a demand access (tag search already resolved the slot).
+    Read,
+    /// Migration from the swap buffer into the bank (the paper's "F" mark).
+    Migrate,
+    /// Cache-fill write returning from L2/DRAM with destination STT.
+    Fill,
+}
+
+/// One queued STT-MRAM operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagCmd {
+    /// Operation type.
+    pub kind: TagCmdKind,
+    /// Target line.
+    pub line: LineAddr,
+    /// SM-local warp to wake when a `Read` completes (unused otherwise).
+    pub warp: u16,
+    /// Cycle the command was enqueued (for latency accounting).
+    pub enqueued_at: u64,
+    /// Serialized tag-search cycles this command must spend at the bank
+    /// before its read/write starts (associativity-approximation polling).
+    pub extra_cycles: u32,
+}
+
+/// The tag queue: a bounded FIFO of [`TagCmd`]s.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_cache::tag_queue::{TagQueue, TagCmd, TagCmdKind};
+/// use fuse_cache::line::LineAddr;
+///
+/// let mut q = TagQueue::new(16);
+/// let cmd = TagCmd { kind: TagCmdKind::Read, line: LineAddr(3), warp: 0,
+///                    enqueued_at: 0, extra_cycles: 0 };
+/// assert!(q.push(cmd));
+/// assert_eq!(q.pop().unwrap().line, LineAddr(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TagQueue {
+    entries: std::collections::VecDeque<TagCmd>,
+    capacity: usize,
+    flushes: u64,
+    flushed_cmds: u64,
+    peak: usize,
+}
+
+impl TagQueue {
+    /// Creates a queue holding up to `capacity` commands (paper: 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tag queue needs at least one entry");
+        TagQueue {
+            entries: std::collections::VecDeque::new(),
+            capacity,
+            flushes: 0,
+            flushed_cmds: 0,
+            peak: 0,
+        }
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no further command can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Highest occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of flush events (write updates hitting STT data).
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Total commands displaced by flushes (they are replayed by the
+    /// controller).
+    pub fn flushed_cmds(&self) -> u64 {
+        self.flushed_cmds
+    }
+
+    /// Enqueues a command; `false` when full (the access becomes a
+    /// tag-search stall for Fig. 15).
+    pub fn push(&mut self, cmd: TagCmd) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push_back(cmd);
+        self.peak = self.peak.max(self.entries.len());
+        true
+    }
+
+    /// The oldest command, removed for service.
+    pub fn pop(&mut self) -> Option<TagCmd> {
+        self.entries.pop_front()
+    }
+
+    /// The oldest command without removing it.
+    pub fn front(&self) -> Option<&TagCmd> {
+        self.entries.front()
+    }
+
+    /// True if any queued command targets `line` (FIFO matching of swap
+    /// buffer data to "F" commands relies on this).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|c| c.line == line)
+    }
+
+    /// Flushes the queue ahead of an in-place STT write (misprediction
+    /// path). Returns the displaced commands, oldest first, so the
+    /// controller can replay them after the write.
+    pub fn flush(&mut self) -> Vec<TagCmd> {
+        if !self.entries.is_empty() {
+            self.flushes += 1;
+            self.flushed_cmds += self.entries.len() as u64;
+        }
+        self.entries.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(n: u64, kind: TagCmdKind) -> TagCmd {
+        TagCmd { kind, line: LineAddr(n), warp: 0, enqueued_at: 0, extra_cycles: 0 }
+    }
+
+    #[test]
+    fn fifo_discipline() {
+        let mut q = TagQueue::new(4);
+        q.push(cmd(1, TagCmdKind::Read));
+        q.push(cmd(2, TagCmdKind::Migrate));
+        assert_eq!(q.pop().unwrap().line, LineAddr(1));
+        assert_eq!(q.front().unwrap().line, LineAddr(2));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut q = TagQueue::new(2);
+        assert!(q.push(cmd(1, TagCmdKind::Read)));
+        assert!(q.push(cmd(2, TagCmdKind::Read)));
+        assert!(q.is_full());
+        assert!(!q.push(cmd(3, TagCmdKind::Read)));
+    }
+
+    #[test]
+    fn flush_returns_everything_in_order() {
+        let mut q = TagQueue::new(4);
+        q.push(cmd(1, TagCmdKind::Read));
+        q.push(cmd(2, TagCmdKind::Migrate));
+        let drained = q.flush();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].line, LineAddr(1));
+        assert!(q.is_empty());
+        assert_eq!(q.flushes(), 1);
+        assert_eq!(q.flushed_cmds(), 2);
+    }
+
+    #[test]
+    fn empty_flush_is_not_counted() {
+        let mut q = TagQueue::new(4);
+        assert!(q.flush().is_empty());
+        assert_eq!(q.flushes(), 0);
+    }
+
+    #[test]
+    fn contains_matches_pending_lines() {
+        let mut q = TagQueue::new(4);
+        q.push(cmd(9, TagCmdKind::Migrate));
+        assert!(q.contains(LineAddr(9)));
+        assert!(!q.contains(LineAddr(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = TagQueue::new(0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests over the cache building blocks.
+
+use proptest::prelude::*;
+
+use fuse_cache::approx_assoc::{ApproxAssocStore, ApproxConfig};
+use fuse_cache::bloom::CountingBloomFilter;
+use fuse_cache::line::LineAddr;
+use fuse_cache::mshr::{FillDest, Mshr, MshrOutcome, MshrTarget};
+use fuse_cache::replacement::PolicyKind;
+use fuse_cache::swap_buffer::{SwapBuffer, SwapEntry};
+use fuse_cache::tag_array::TagArray;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64),
+    Invalidate(u64),
+}
+
+fn arb_ops(max_line: u64, n: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..max_line).prop_map(Op::Access),
+            (0..max_line).prop_map(Op::Invalidate),
+        ],
+        1..n,
+    )
+}
+
+proptest! {
+    #[test]
+    fn cbf_never_false_negative(
+        members in prop::collection::hash_set(0u64..10_000, 0..40),
+        probes in prop::collection::vec(0u64..10_000, 0..200),
+        hashes in 1u32..5,
+        slots in 16usize..256,
+    ) {
+        let mut f = CountingBloomFilter::new(slots, hashes, 2);
+        for &m in &members {
+            f.increment(LineAddr(m));
+        }
+        for &m in &members {
+            prop_assert!(f.test(LineAddr(m)), "member {m} reported absent");
+        }
+        // Removing a member never breaks the remaining members.
+        let mut iter = members.iter();
+        if let Some(&gone) = iter.next() {
+            f.decrement(LineAddr(gone));
+            for &m in iter {
+                prop_assert!(f.test(LineAddr(m)));
+            }
+        }
+        // Probes only exercise the no-panic path (false positives allowed).
+        for &p in &probes {
+            let _ = f.test(LineAddr(p));
+        }
+    }
+
+    #[test]
+    fn tag_array_never_duplicates_and_counts_correctly(
+        ops in arb_ops(64, 400),
+        policy in prop_oneof![Just(PolicyKind::Lru), Just(PolicyKind::Fifo)],
+    ) {
+        let mut tags = TagArray::new(8, 4, policy);
+        for op in &ops {
+            match op {
+                Op::Access(l) => {
+                    let line = LineAddr(*l);
+                    if tags.touch(line).is_none() {
+                        tags.fill(line, false, 0);
+                    }
+                    prop_assert!(tags.probe(line).is_some(), "just-filled line absent");
+                }
+                Op::Invalidate(l) => {
+                    let line = LineAddr(*l);
+                    tags.invalidate(line);
+                    prop_assert!(tags.probe(line).is_none());
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            for e in tags.iter_valid() {
+                prop_assert!(seen.insert(e.line), "duplicate {:?}", e.line);
+            }
+            prop_assert_eq!(seen.len(), tags.valid_lines());
+            prop_assert!(tags.valid_lines() <= tags.lines());
+        }
+    }
+
+    #[test]
+    fn approx_store_agrees_with_reference_model(ops in arb_ops(512, 300)) {
+        let cfg = ApproxConfig {
+            lines: 64,
+            num_cbfs: 16,
+            cbf_slots: 32,
+            cbf_hashes: 3,
+            cbf_counter_bits: 2,
+            comparators: 4,
+        };
+        let mut store = ApproxAssocStore::new(cfg);
+        // Reference: FIFO over a simple vec.
+        let mut reference: Vec<LineAddr> = Vec::new();
+        let mut cursor = 0usize;
+        for op in &ops {
+            match op {
+                Op::Access(l) => {
+                    let line = LineAddr(*l);
+                    let probe = store.probe(line);
+                    let expected = reference.contains(&line);
+                    prop_assert_eq!(probe.way.is_some(), expected, "probe disagrees for {}", line);
+                    prop_assert!(probe.search_cycles >= 1);
+                    if !expected {
+                        store.fill(line, false, 0);
+                        if reference.len() < 64 {
+                            reference.push(line);
+                            cursor = reference.len() % 64;
+                        } else {
+                            reference[cursor] = line;
+                            cursor = (cursor + 1) % 64;
+                        }
+                    }
+                }
+                Op::Invalidate(l) => {
+                    let line = LineAddr(*l);
+                    let got = store.invalidate(line).is_some();
+                    let had = reference.contains(&line);
+                    prop_assert_eq!(got, had);
+                    if had {
+                        // Keep slots aligned: mark the slot empty the same
+                        // way the store does (slot is reused only by FIFO
+                        // cursor). The reference keeps position semantics.
+                        let idx = reference.iter().position(|x| *x == line).expect("had");
+                        reference[idx] = LineAddr(u64::MAX); // tombstone never matched
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mshr_merges_are_bounded(lines in prop::collection::vec(0u64..16, 1..200)) {
+        let mut m = Mshr::new(8, 4);
+        let t = MshrTarget { warp: 0, is_store: false, pc_sig: 0 };
+        let mut outstanding: std::collections::HashMap<u64, usize> = Default::default();
+        for &l in &lines {
+            match m.allocate(LineAddr(l), t, FillDest::Sram) {
+                MshrOutcome::NewMiss => {
+                    prop_assert!(outstanding.len() < 8);
+                    outstanding.insert(l, 1);
+                }
+                MshrOutcome::Merged => {
+                    let c = outstanding.get_mut(&l).expect("merge into live entry");
+                    *c += 1;
+                    prop_assert!(*c <= 4, "merge count exceeded");
+                }
+                MshrOutcome::FullEntries => {
+                    prop_assert_eq!(outstanding.len(), 8);
+                }
+                MshrOutcome::FullTargets => {
+                    prop_assert_eq!(outstanding[&l], 4);
+                }
+            }
+            prop_assert_eq!(m.occupancy(), outstanding.len());
+        }
+        for (&l, &targets) in &outstanding {
+            let (_, got) = m.complete(LineAddr(l)).expect("entry exists");
+            prop_assert_eq!(got.len(), targets);
+        }
+        prop_assert_eq!(m.occupancy(), 0);
+    }
+
+    #[test]
+    fn swap_buffer_is_fifo_under_interleaving(pushes in prop::collection::vec(0u64..100, 1..50)) {
+        let mut buf = SwapBuffer::new(3);
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        for (i, &l) in pushes.iter().enumerate() {
+            let entry = SwapEntry { line: LineAddr(l), dirty: false, aux: 0 };
+            let accepted = buf.push(entry);
+            prop_assert_eq!(accepted, model.len() < 3);
+            if accepted {
+                model.push_back(l);
+            }
+            if i % 2 == 1 {
+                let got = buf.pop_front().map(|e| e.line.0);
+                prop_assert_eq!(got, model.pop_front());
+            }
+        }
+        while let Some(e) = buf.pop_front() {
+            prop_assert_eq!(Some(e.line.0), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+}

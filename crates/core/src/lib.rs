@@ -1,0 +1,45 @@
+//! # fuse-core — the FUSE heterogeneous GPU L1D cache
+//!
+//! The primary contribution of Zhang, Jung, Kandemir, *"FUSE: Fusing
+//! STT-MRAM into GPUs to Alleviate Off-Chip Memory Access Overheads"*
+//! (HPCA 2019): an L1D that exposes an SRAM bank and an STT-MRAM bank as
+//! one on-chip storage pool, steered by a read-level predictor and searched
+//! through an approximate fully-associative organisation.
+//!
+//! The crate implements **all L1D configurations** of the paper's
+//! evaluation (Table I) behind one controller, [`controller::FuseL1`],
+//! selected by [`config::L1Preset`]:
+//!
+//! | preset | organisation |
+//! |---|---|
+//! | `L1Sram`    | 32 KB 4-way SRAM (the GTX480-like baseline) |
+//! | `FaSram`    | 32 KB fully-associative SRAM (idealised) |
+//! | `SttOnly`   | 128 KB 4-way STT-MRAM, no bypass (Fig. 3's "STT-MRAM GPU") |
+//! | `ByNvm`     | 128 KB 4-way STT-MRAM + DASCA dead-write bypass |
+//! | `Hybrid`    | 16 KB SRAM + 64 KB STT-MRAM, blocking STT writes |
+//! | `BaseFuse`  | Hybrid + swap buffer + tag queue (§IV-A) |
+//! | `FaFuse`    | Base-FUSE + approximate full associativity (§III-B) |
+//! | `DyFuse`    | FA-FUSE + read-level predictor placement (§IV-B) |
+//! | `Oracle`    | unbounded L1 (Fig. 3 upper bound; built on `fuse-gpu`) |
+//!
+//! # Examples
+//!
+//! Build a Dy-FUSE L1 and drive it directly:
+//!
+//! ```
+//! use fuse_core::config::L1Preset;
+//! use fuse_gpu::l1d::{L1Access, L1Outcome, L1dModel};
+//! use fuse_cache::line::LineAddr;
+//!
+//! let mut l1 = L1Preset::DyFuse.build_model();
+//! let acc = L1Access { warp: 0, pc: 0x40, line: LineAddr(1), is_store: false };
+//! assert_eq!(l1.access(0, acc), L1Outcome::Pending); // cold miss
+//! ```
+
+pub mod config;
+pub mod controller;
+pub mod metrics;
+
+pub use config::{L1Config, L1Preset, Placement, SttOrganization};
+pub use controller::FuseL1;
+pub use metrics::L1Metrics;

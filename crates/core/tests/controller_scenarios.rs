@@ -1,0 +1,188 @@
+//! Scenario tests of the FUSE controller beyond the unit level: multi-step
+//! interactions between the banks, the queues and the predictors, driven
+//! through the public `L1dModel` interface.
+
+use fuse_cache::line::LineAddr;
+use fuse_core::config::{dy_fuse_with_ratio, L1Preset, Placement};
+use fuse_core::controller::FuseL1;
+use fuse_gpu::l1d::{L1Access, L1Outcome, L1Response, L1dModel, OutgoingKind};
+
+fn load(warp: u16, pc: u32, line: u64) -> L1Access {
+    L1Access { warp, pc, line: LineAddr(line), is_store: false }
+}
+
+fn store(warp: u16, pc: u32, line: u64) -> L1Access {
+    L1Access { warp, pc, line: LineAddr(line), is_store: true }
+}
+
+/// Answers every outstanding read this cycle, like a zero-latency L2.
+fn feed(l1: &mut FuseL1, now: u64) -> (u64, u64) {
+    let mut out = Vec::new();
+    l1.drain_outgoing(&mut out);
+    let mut reads = 0;
+    let mut writes = 0;
+    for r in out {
+        if r.kind.expects_response() {
+            reads += 1;
+            l1.push_response(now, L1Response { id: r.id, line: r.line });
+        } else {
+            writes += 1;
+        }
+    }
+    (reads, writes)
+}
+
+#[test]
+fn writeback_of_dirty_victims_reaches_l2() {
+    // Fill SRAM set 0 (64 sets, 4 ways in L1-SRAM) with dirty lines, then
+    // conflict them out: every eviction must emit a WriteThrough.
+    let mut l1 = FuseL1::new(L1Preset::L1Sram.config());
+    for (t, line) in [0u64, 64, 128, 192].iter().enumerate() {
+        assert_eq!(l1.access(t as u64, store(0, 0x40, *line)), L1Outcome::StoreAccepted);
+        feed(&mut l1, t as u64);
+    }
+    // Four more conflicting fills evict the four dirty lines.
+    let mut writebacks = 0;
+    for (t, line) in [256u64, 320, 384, 448].iter().enumerate() {
+        let now = 10 + t as u64;
+        assert_ne!(l1.access(now, load(1, 0x44, *line)), L1Outcome::ReservationFail);
+        let mut out = Vec::new();
+        l1.drain_outgoing(&mut out);
+        for r in &out {
+            if r.kind == OutgoingKind::FillRead {
+                l1.push_response(now, L1Response { id: r.id, line: r.line });
+            }
+        }
+        // The fill may trigger the writeback a step later.
+        let mut out2 = Vec::new();
+        l1.drain_outgoing(&mut out2);
+        writebacks += out2.iter().filter(|r| r.kind == OutgoingKind::WriteThrough).count();
+    }
+    assert_eq!(writebacks, 4, "every dirty victim must be written back");
+    assert_eq!(l1.stats().writebacks, 4);
+}
+
+#[test]
+fn ratio_configs_shift_total_capacity() {
+    // Under SRAM-first placement (no predictor bypass in the way), the
+    // 1/16 split has ~976 lines of total capacity and the 3/4 split only
+    // ~448; repeated passes over a 600-line region fit the former only.
+    let run = |num, den| {
+        let mut cfg = dy_fuse_with_ratio(num, den);
+        cfg.placement = Placement::SramFirst;
+        let mut l1 = FuseL1::new(cfg);
+        // Pace accesses 8 cycles apart so SRAM->STT migrations (5-cycle
+        // STT writes, one tag-queue drain per cycle) can keep up.
+        for i in 0..6000u64 {
+            let now = i * 8;
+            let acc = load(0, 0x50, i % 600);
+            if l1.access(now, acc) != L1Outcome::ReservationFail {
+                feed(&mut l1, now);
+            }
+            for t in now..now + 8 {
+                l1.tick(t);
+            }
+        }
+        l1.stats()
+    };
+    let mostly_stt = run(1, 16); // 2 KB SRAM + 120 KB STT
+    let mostly_sram = run(3, 4); // 24 KB SRAM + 32 KB STT
+    assert!(
+        mostly_stt.hits > 2 * mostly_sram.hits,
+        "the larger total capacity must capture the 600-line region: {} vs {}",
+        mostly_stt.hits,
+        mostly_sram.hits
+    );
+}
+
+#[test]
+fn bypass_read_does_not_allocate() {
+    // Train WORO on a streaming PC, then verify a bypassed line is not
+    // resident afterwards (a re-access misses again).
+    let mut l1 = FuseL1::new(L1Preset::DyFuse.config());
+    for i in 0..4000u64 {
+        let acc = load(0, 0x80, 50_000 + i * 7);
+        if l1.access(i, acc) != L1Outcome::ReservationFail {
+            feed(&mut l1, i);
+        }
+        l1.tick(i);
+    }
+    let m = l1.metrics();
+    assert!(m.bypassed_loads > 0, "stream must be bypassed eventually");
+    // Clear completions accumulated during training before probing.
+    let mut drained = Vec::new();
+    l1.drain_completions(&mut drained);
+    // Pick a line we know was bypassed: issue a fresh one, observe the
+    // BypassRead kind, answer it, then touch it again — it must miss.
+    let probe_line = 10_000_000u64;
+    let outcome = l1.access(5000, load(0, 0x80, probe_line));
+    assert_eq!(outcome, L1Outcome::Pending);
+    let mut out = Vec::new();
+    l1.drain_outgoing(&mut out);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].kind, OutgoingKind::BypassRead, "trained WORO load must bypass");
+    l1.push_response(5000, L1Response { id: out[0].id, line: LineAddr(probe_line) });
+    let mut done = Vec::new();
+    l1.drain_completions(&mut done);
+    assert_eq!(done, vec![0], "bypassed load still completes");
+    // Not resident: the next touch misses again.
+    let again = l1.access(5001, load(1, 0x80, probe_line));
+    assert_eq!(again, L1Outcome::Pending);
+    let mut out = Vec::new();
+    l1.drain_outgoing(&mut out);
+    assert_eq!(out.len(), 1, "second access must go off-chip again");
+}
+
+#[test]
+fn woro_store_bypass_writes_through() {
+    let mut l1 = FuseL1::new(L1Preset::DyFuse.config());
+    // Train WORO with a streaming store-then-read pattern from warp 0.
+    for i in 0..4000u64 {
+        let line = 90_000 + i * 3;
+        if l1.access(i, store(0, 0x90, line)) != L1Outcome::ReservationFail {
+            feed(&mut l1, i);
+        }
+        l1.tick(i);
+    }
+    let m = l1.metrics();
+    assert!(m.bypassed_stores > 0, "WORO stores must write through");
+    // A bypassed store produced WriteThrough traffic, visible in stats.
+    assert!(l1.stats().bypasses > 0);
+}
+
+#[test]
+fn oracle_and_presets_share_instruction_semantics() {
+    // The Oracle model (IdealL1) must present the same L1dModel contract:
+    // pending loads complete exactly once.
+    let mut l1 = L1Preset::Oracle.build_model();
+    assert_eq!(l1.access(0, load(3, 0, 42)), L1Outcome::Pending);
+    let mut out = Vec::new();
+    l1.drain_outgoing(&mut out);
+    assert_eq!(out.len(), 1);
+    l1.push_response(1, L1Response { id: out[0].id, line: LineAddr(42) });
+    let mut done = Vec::new();
+    l1.drain_completions(&mut done);
+    assert_eq!(done, vec![3]);
+    let mut done2 = Vec::new();
+    l1.drain_completions(&mut done2);
+    assert!(done2.is_empty(), "completions must not duplicate");
+}
+
+#[test]
+fn stt_only_write_then_read_round_trip() {
+    let mut l1 = FuseL1::new(L1Preset::SttOnly.config());
+    assert_eq!(l1.access(0, store(0, 0x10, 5)), L1Outcome::StoreAccepted);
+    feed(&mut l1, 0); // fill applies, bank busy for the 5-cycle write
+    // Wait out the write, then read it back from STT.
+    for now in 1..10 {
+        l1.tick(now);
+    }
+    assert_eq!(l1.access(10, load(1, 0x14, 5)), L1Outcome::Pending);
+    for now in 10..14 {
+        l1.tick(now);
+    }
+    let mut done = Vec::new();
+    l1.drain_completions(&mut done);
+    assert_eq!(done, vec![1]);
+    assert_eq!(l1.stats().hits, 1);
+}

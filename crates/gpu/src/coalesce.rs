@@ -1,0 +1,85 @@
+//! Memory-access coalescing.
+//!
+//! A warp's 32 lane addresses collapse into the minimal set of distinct
+//! 128 B line requests, first-touch order preserved — the standard CUDA
+//! global-memory coalescing rule (§III-A: "executing a warp requires
+//! bringing in/out 128 B data"). Regular kernels produce one line per warp
+//! access; irregular kernels can produce up to 32.
+
+use crate::warp::MemOp;
+use fuse_cache::line::LineAddr;
+
+/// Coalesces a warp memory operation into unique line addresses, in
+/// first-lane order.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_gpu::coalesce::coalesce;
+/// use fuse_gpu::warp::MemOp;
+///
+/// // 32 consecutive 4 B elements: exactly one 128 B line.
+/// let op = MemOp::strided(0, false, 0x1000, 4, 32);
+/// assert_eq!(coalesce(&op).len(), 1);
+///
+/// // A scatter over three distant addresses: three lines.
+/// let op = MemOp::scattered(0, false, &[0x0, 0x10000, 0x20000]);
+/// assert_eq!(coalesce(&op).len(), 3);
+/// ```
+pub fn coalesce(op: &MemOp) -> Vec<LineAddr> {
+    let mut lines: Vec<LineAddr> = Vec::with_capacity(4);
+    for &addr in op.active_lanes() {
+        let line = LineAddr::from_byte_addr(addr);
+        if !lines.contains(&line) {
+            lines.push(line);
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_warp_access_is_one_line() {
+        let op = MemOp::strided(0, false, 0x2000, 4, 32);
+        assert_eq!(coalesce(&op), vec![LineAddr::from_byte_addr(0x2000)]);
+    }
+
+    #[test]
+    fn misaligned_access_straddles_two_lines() {
+        let op = MemOp::strided(0, false, 0x2040, 4, 32);
+        let lines = coalesce(&op);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], LineAddr::from_byte_addr(0x2040));
+        assert_eq!(lines[1], LineAddr::from_byte_addr(0x2080));
+    }
+
+    #[test]
+    fn large_stride_defeats_coalescing() {
+        // 128 B stride: every lane its own line (column-major matrix walk).
+        let op = MemOp::strided(0, false, 0, 128, 32);
+        assert_eq!(coalesce(&op).len(), 32);
+    }
+
+    #[test]
+    fn duplicate_lane_addresses_fold() {
+        let op = MemOp::scattered(0, false, &[100, 101, 102, 100]);
+        assert_eq!(coalesce(&op).len(), 1);
+    }
+
+    #[test]
+    fn order_is_first_touch() {
+        let op = MemOp::scattered(0, false, &[0x8000, 0x0, 0x8000, 0x4000]);
+        let lines = coalesce(&op);
+        assert_eq!(
+            lines,
+            vec![
+                LineAddr::from_byte_addr(0x8000),
+                LineAddr::from_byte_addr(0x0),
+                LineAddr::from_byte_addr(0x4000)
+            ]
+        );
+    }
+}

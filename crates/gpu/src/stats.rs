@@ -1,0 +1,164 @@
+//! Whole-run statistics.
+
+use crate::icnt::IcntStats;
+use crate::sm::SmStats;
+use fuse_cache::stats::CacheStats;
+use fuse_mem::energy::EnergyCounters;
+
+/// Everything a simulation run reports.
+///
+/// Produced by [`crate::system::GpuSystem::run`]; the umbrella crate's
+/// runner combines it with configuration-specific L1 metrics to regenerate
+/// the paper's figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Warp instructions executed (all SMs).
+    pub instructions: u64,
+    /// Aggregated L1D statistics.
+    pub l1: CacheStats,
+    /// Aggregated L2 statistics.
+    pub l2: CacheStats,
+    /// Aggregated SM issue/stall statistics.
+    pub sm: SmStats,
+    /// Requests that left an L1 for the interconnect — the paper's
+    /// *outgoing memory references*.
+    pub outgoing_requests: u64,
+    /// Request-direction network counters.
+    pub req_net: IcntStats,
+    /// Response-direction network counters.
+    pub rsp_net: IcntStats,
+    /// DRAM column accesses.
+    pub dram_accesses: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// Energy event counters for [`fuse_mem::energy::EnergyParams`].
+    pub energy: EnergyCounters,
+    /// Σ cycles completed off-chip reads spent in the network (both ways).
+    pub net_residency: u64,
+    /// Σ cycles completed off-chip reads spent in L2 + DRAM.
+    pub mem_residency: u64,
+    /// Off-chip reads completed (denominator for residency averages).
+    pub completed_reads: u64,
+    /// Number of SMs (for per-SM normalisations).
+    pub num_sms: u32,
+}
+
+impl SimStats {
+    /// Instructions per cycle, whole GPU (the y-axis of Figs. 13/19).
+    ///
+    /// Returns 0 for an empty run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1D miss rate (Figs. 3a/14/18b).
+    pub fn l1_miss_rate(&self) -> f64 {
+        self.l1.miss_rate()
+    }
+
+    /// Accesses per kilo-instruction (Table II's APKI).
+    pub fn apki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l1.accesses() as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Mean network residency of a completed off-chip read, cycles.
+    pub fn avg_net_cycles(&self) -> f64 {
+        if self.completed_reads == 0 {
+            0.0
+        } else {
+            self.net_residency as f64 / self.completed_reads as f64
+        }
+    }
+
+    /// Mean L2+DRAM residency of a completed off-chip read, cycles.
+    pub fn avg_mem_cycles(&self) -> f64 {
+        if self.completed_reads == 0 {
+            0.0
+        } else {
+            self.mem_residency as f64 / self.completed_reads as f64
+        }
+    }
+
+    /// Fraction of all issue slots lost to off-chip memory stalls — the
+    /// quantity decomposed in Fig. 1a. Counts both idle-blocked cycles
+    /// (every candidate warp waiting on loads) and structural rejections
+    /// (MSHR/bank/queue full — the L1 waiting on the memory system below
+    /// it).
+    pub fn offchip_stall_fraction(&self) -> f64 {
+        let slots = self.cycles.saturating_mul(self.num_sms as u64);
+        if slots == 0 {
+            0.0
+        } else {
+            (self.sm.mem_stall_cycles + self.sm.reservation_stall_cycles) as f64 / slots as f64
+        }
+    }
+
+    /// Splits [`SimStats::offchip_stall_fraction`] into (network, DRAM)
+    /// shares by off-chip residency ratio (Fig. 1a's two bars).
+    pub fn offchip_decomposition(&self) -> (f64, f64) {
+        let total = self.net_residency + self.mem_residency;
+        let f = self.offchip_stall_fraction();
+        if total == 0 {
+            (0.0, 0.0)
+        } else {
+            let net_share = self.net_residency as f64 / total as f64;
+            (f * net_share, f * (1.0 - net_share))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_yield_zero_ratios() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.apki(), 0.0);
+        assert_eq!(s.avg_net_cycles(), 0.0);
+        assert_eq!(s.offchip_stall_fraction(), 0.0);
+        assert_eq!(s.offchip_decomposition(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn ipc_and_apki_arithmetic() {
+        let s = SimStats {
+            cycles: 1000,
+            instructions: 500,
+            l1: CacheStats { hits: 24, misses: 8, ..CacheStats::default() },
+            num_sms: 2,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.apki() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposition_splits_by_residency() {
+        let s = SimStats {
+            cycles: 100,
+            num_sms: 1,
+            sm: SmStats { mem_stall_cycles: 50, reservation_stall_cycles: 30, ..SmStats::default() },
+            net_residency: 30,
+            mem_residency: 90,
+            completed_reads: 3,
+            ..SimStats::default()
+        };
+        let (net, dram) = s.offchip_decomposition();
+        assert!((net - 0.2).abs() < 1e-12, "0.8 * 30/120");
+        assert!((dram - 0.6).abs() < 1e-12);
+        assert!((s.avg_net_cycles() - 10.0).abs() < 1e-12);
+        assert!((s.avg_mem_cycles() - 30.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,431 @@
+//! The whole-GPU cycle engine.
+//!
+//! Wires SMs (with their pluggable L1Ds) to the L2 slices through the
+//! request/response networks, and the slices to the DRAM channels. Each
+//! simulated cycle advances every component once; requests carry a global
+//! id so their network vs L2+DRAM residency can be decomposed (Fig. 1a).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::GpuConfig;
+use crate::icnt::{Interconnect, Packet};
+use crate::l1d::{L1Response, L1dModel, OutgoingReq};
+use crate::l2::{L2Bank, L2Output};
+use crate::sm::{Sm, SmStats};
+use crate::stats::SimStats;
+use crate::warp::WarpProgram;
+use fuse_cache::line::LineAddr;
+use fuse_cache::stats::CacheStats;
+use fuse_mem::dram::{DramChannel, DramRequest};
+use fuse_mem::energy::EnergyCounters;
+
+#[derive(Debug, Clone, Copy)]
+struct Trace {
+    sm: usize,
+    l1_id: u64,
+    t_inject: u64,
+    t_l2_in: u64,
+    t_l2_out: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingDram {
+    channel: usize,
+    request: DramRequest,
+}
+
+/// The simulated GPU.
+///
+/// Construct with an L1 factory (one L1D per SM — this is where the FUSE
+/// configurations plug in) and a program factory (one instruction stream
+/// per warp), then [`GpuSystem::run`].
+pub struct GpuSystem {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    req_net: Interconnect,
+    rsp_net: Interconnect,
+    l2: Vec<L2Bank>,
+    dram: Vec<DramChannel>,
+    traces: HashMap<u64, Trace>,
+    dram_reads: HashMap<u64, (usize, LineAddr)>,
+    pending_dram: VecDeque<PendingDram>,
+    next_gid: u64,
+    next_dram_id: u64,
+    cycle: u64,
+    net_residency: u64,
+    mem_residency: u64,
+    completed_reads: u64,
+    outgoing_buf: Vec<OutgoingReq>,
+    fill_buf: Vec<(usize, LineAddr)>,
+}
+
+impl std::fmt::Debug for GpuSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuSystem")
+            .field("cycle", &self.cycle)
+            .field("sms", &self.sms.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GpuSystem {
+    /// Builds the system. `l1_factory(sm)` supplies each SM's L1D;
+    /// `program_factory(sm, warp)` supplies each warp's instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`GpuConfig::validate`]).
+    pub fn new(
+        cfg: GpuConfig,
+        mut l1_factory: impl FnMut(usize) -> Box<dyn L1dModel>,
+        mut program_factory: impl FnMut(usize, u16) -> Box<dyn WarpProgram>,
+    ) -> Self {
+        cfg.validate();
+        let sms = (0..cfg.num_sms)
+            .map(|s| {
+                let programs = (0..cfg.warps_per_sm)
+                    .map(|w| program_factory(s, w as u16))
+                    .collect();
+                let limit = cfg.active_warp_limit.unwrap_or(cfg.warps_per_sm);
+                let mut sm = Sm::with_warp_limit(l1_factory(s), programs, limit);
+                sm.set_scheduler(cfg.scheduler);
+                sm
+            })
+            .collect();
+        let l2 = (0..cfg.l2_banks)
+            .map(|_| L2Bank::new(cfg.l2_sets, cfg.l2_ways, cfg.l2_latency, cfg.l2_mshr_entries))
+            .collect();
+        let dram = (0..cfg.dram_channels).map(|_| DramChannel::new(cfg.dram)).collect();
+        GpuSystem {
+            req_net: Interconnect::new(cfg.icnt_latency, cfg.icnt_flits_per_cycle),
+            rsp_net: Interconnect::new(cfg.icnt_latency, cfg.icnt_flits_per_cycle),
+            sms,
+            l2,
+            dram,
+            cfg,
+            traces: HashMap::new(),
+            dram_reads: HashMap::new(),
+            pending_dram: VecDeque::new(),
+            next_gid: 0,
+            next_dram_id: 0,
+            cycle: 0,
+            net_residency: 0,
+            mem_residency: 0,
+            completed_reads: 0,
+            outgoing_buf: Vec::new(),
+            fill_buf: Vec::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The L1D of SM `sm` (downcast via
+    /// [`L1dModel::as_any`] for configuration-specific metrics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range.
+    pub fn l1(&self, sm: usize) -> &dyn L1dModel {
+        self.sms[sm].l1()
+    }
+
+    /// Runs until every warp retires and the hierarchy drains, or
+    /// `max_cycles` elapses. Returns the run's statistics.
+    pub fn run(&mut self, max_cycles: u64) -> SimStats {
+        while self.cycle < max_cycles {
+            self.tick();
+            if self.cycle % 64 == 0 && self.is_done() {
+                break;
+            }
+        }
+        self.stats()
+    }
+
+    /// True once all warps retired and no request is in flight anywhere.
+    pub fn is_done(&self) -> bool {
+        self.sms.iter().all(|sm| sm.done())
+            && self.req_net.is_idle()
+            && self.rsp_net.is_idle()
+            && self.traces.is_empty()
+            && self.pending_dram.is_empty()
+            && self.l2.iter().all(|b| b.is_idle())
+            && self.dram.iter().all(|c| c.occupancy() == 0)
+    }
+
+    fn tick(&mut self) {
+        let now = self.cycle;
+
+        // 1. SMs: L1 pipelines, wake-ups, issue.
+        for sm in &mut self.sms {
+            sm.tick(now);
+        }
+
+        // 2. Collect new L1 -> L2 requests into the request network.
+        for si in 0..self.sms.len() {
+            self.outgoing_buf.clear();
+            self.sms[si].drain_outgoing(&mut self.outgoing_buf);
+            for i in 0..self.outgoing_buf.len() {
+                let req = self.outgoing_buf[i];
+                let bank = self.cfg.l2_bank_of(req.line.0);
+                let gid = self.next_gid;
+                self.next_gid += 1;
+                if req.kind.expects_response() {
+                    self.traces.insert(
+                        gid,
+                        Trace { sm: si, l1_id: req.id, t_inject: now, t_l2_in: now, t_l2_out: now },
+                    );
+                }
+                self.req_net.push(Packet {
+                    gid,
+                    sm: si,
+                    bank,
+                    line: req.line,
+                    kind: req.kind,
+                    flits: Packet::request_flits(req.kind),
+                });
+            }
+        }
+
+        // 3. Deliver request packets to their L2 slices.
+        for p in self.req_net.tick(now) {
+            if let Some(tr) = self.traces.get_mut(&p.gid) {
+                tr.t_l2_in = now;
+            }
+            self.l2[p.bank].enqueue(p, now);
+        }
+
+        // 4. L2 service.
+        for bi in 0..self.l2.len() {
+            let out = self.l2[bi].tick(now);
+            self.handle_l2_output(bi, out, now);
+        }
+
+        // 5. Retry DRAM pushes that found a full channel queue.
+        while let Some(front) = self.pending_dram.front().copied() {
+            let mut req = front.request;
+            req.arrival = req.arrival.min(now);
+            if self.dram[front.channel].try_push(req) {
+                self.pending_dram.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // 6. DRAM: collect completions, then apply the fills.
+        self.fill_buf.clear();
+        for ch in &mut self.dram {
+            for comp in ch.tick(now) {
+                if let Some((bank, line)) = self.dram_reads.remove(&comp.id) {
+                    self.fill_buf.push((bank, line));
+                }
+            }
+        }
+        for i in 0..self.fill_buf.len() {
+            let (bank, line) = self.fill_buf[i];
+            let mut out = L2Output::default();
+            self.l2[bank].dram_fill(line, &mut out);
+            self.handle_l2_output(bank, out, now);
+        }
+
+        // 7. Deliver responses back to the L1s.
+        for p in self.rsp_net.tick(now) {
+            let tr = self.traces.remove(&p.gid).expect("response without a trace");
+            self.net_residency += tr.t_l2_in.saturating_sub(tr.t_inject)
+                + now.saturating_sub(tr.t_l2_out);
+            self.mem_residency += tr.t_l2_out.saturating_sub(tr.t_l2_in);
+            self.completed_reads += 1;
+            self.sms[tr.sm].push_response(now, L1Response { id: tr.l1_id, line: p.line });
+        }
+
+        self.cycle += 1;
+    }
+
+    fn handle_l2_output(&mut self, bank: usize, out: L2Output, now: u64) {
+        for p in out.responses {
+            if let Some(tr) = self.traces.get_mut(&p.gid) {
+                tr.t_l2_out = now;
+            }
+            self.rsp_net.push(Packet { flits: Packet::RESPONSE_FLITS, ..p });
+        }
+        for line in out.dram_reads {
+            self.queue_dram(bank, line, true, now);
+        }
+        for line in out.dram_writes {
+            self.queue_dram(bank, line, false, now);
+        }
+    }
+
+    fn queue_dram(&mut self, bank: usize, line: LineAddr, is_read: bool, now: u64) {
+        let channel = self.cfg.dram_channel_of_bank(bank);
+        let id = self.next_dram_id;
+        self.next_dram_id += 1;
+        if is_read {
+            self.dram_reads.insert(id, (bank, line));
+        }
+        // Channel-local address keeps row-buffer locality for streams.
+        let request = DramRequest {
+            id,
+            line: line.0 / self.cfg.l2_banks as u64,
+            is_write: !is_read,
+            arrival: now,
+        };
+        if !self.pending_dram.is_empty() || !self.dram[channel].try_push(request) {
+            self.pending_dram.push_back(PendingDram { channel, request });
+        }
+    }
+
+    /// Assembles the run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        let mut l1 = CacheStats::default();
+        let mut sm = SmStats::default();
+        let mut energy = EnergyCounters::default();
+        for s in &self.sms {
+            l1.merge(&s.l1().stats());
+            energy.merge(&s.l1().energy());
+            let st = s.stats();
+            sm.instructions += st.instructions;
+            sm.issue_cycles += st.issue_cycles;
+            sm.mem_stall_cycles += st.mem_stall_cycles;
+            sm.reservation_stall_cycles += st.reservation_stall_cycles;
+            sm.idle_cycles += st.idle_cycles;
+        }
+        let mut l2 = CacheStats::default();
+        let mut l2_accesses = 0;
+        for b in &self.l2 {
+            l2.merge(&b.stats());
+            l2_accesses += b.accesses();
+        }
+        let mut dram_accesses = 0;
+        let mut dram_row_hits = 0;
+        for c in &self.dram {
+            let s = c.stats();
+            dram_accesses += s.accesses;
+            dram_row_hits += s.row_hits;
+        }
+        energy.l2_accesses = l2_accesses;
+        energy.dram_accesses = dram_accesses;
+        energy.net_flits = self.req_net.stats().flits + self.rsp_net.stats().flits;
+        energy.warp_instructions = sm.instructions;
+
+        SimStats {
+            cycles: self.cycle,
+            instructions: sm.instructions,
+            l1,
+            l2,
+            sm,
+            outgoing_requests: self.req_net.stats().packets,
+            req_net: self.req_net.stats(),
+            rsp_net: self.rsp_net.stats(),
+            dram_accesses,
+            dram_row_hits,
+            energy,
+            net_residency: self.net_residency,
+            mem_residency: self.mem_residency,
+            completed_reads: self.completed_reads,
+            num_sms: self.cfg.num_sms as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::l1d::IdealL1;
+    use crate::warp::{MemOp, StreamProgram, WarpOp};
+
+    fn small_cfg() -> GpuConfig {
+        GpuConfig { num_sms: 2, warps_per_sm: 4, ..GpuConfig::gtx480() }
+    }
+
+    fn streaming_program(sm: usize, warp: u16, ops: usize) -> Box<dyn WarpProgram> {
+        let base = (sm as u64 * 64 + warp as u64) << 20; // line-aligned
+        let v: Vec<WarpOp> = (0..ops)
+            .map(|i| WarpOp::Mem(MemOp::strided(0x20, false, base + i as u64 * 128, 4, 32)))
+            .collect();
+        Box::new(StreamProgram::new(v))
+    }
+
+    #[test]
+    fn runs_to_completion_and_counts() {
+        let mut sys = GpuSystem::new(
+            small_cfg(),
+            |_| Box::new(IdealL1::new()),
+            |s, w| streaming_program(s, w, 10),
+        );
+        let stats = sys.run(1_000_000);
+        assert!(sys.is_done(), "system must drain");
+        assert_eq!(stats.instructions, 2 * 4 * 10);
+        // Every line is cold in an ideal L1 with distinct bases.
+        assert_eq!(stats.l1.misses, 80);
+        assert_eq!(stats.outgoing_requests, 80);
+        assert_eq!(stats.dram_accesses, 80, "all L2 cold misses reach DRAM");
+        assert!(stats.ipc() > 0.0);
+        assert!(stats.cycles > 100, "off-chip latency must be visible");
+    }
+
+    #[test]
+    fn off_chip_residency_is_recorded() {
+        let mut sys = GpuSystem::new(
+            small_cfg(),
+            |_| Box::new(IdealL1::new()),
+            |s, w| streaming_program(s, w, 4),
+        );
+        let stats = sys.run(1_000_000);
+        assert_eq!(stats.completed_reads, 32);
+        // One-way icnt latency is 40: round trip at least 80.
+        assert!(stats.avg_net_cycles() >= 80.0, "net {}", stats.avg_net_cycles());
+        assert!(stats.avg_mem_cycles() >= 30.0, "mem {}", stats.avg_mem_cycles());
+        let (net, dram) = stats.offchip_decomposition();
+        assert!(net > 0.0 && dram > 0.0);
+    }
+
+    #[test]
+    fn reuse_hits_in_l1_after_warmup() {
+        // All warps read the same small array twice.
+        let mk = |_s: usize, _w: u16| {
+            let v: Vec<WarpOp> = (0..8)
+                .chain(0..8)
+                .map(|i| WarpOp::Mem(MemOp::strided(0x40, false, i as u64 * 128, 4, 32)))
+                .collect();
+            Box::new(StreamProgram::new(v)) as Box<dyn WarpProgram>
+        };
+        let mut sys = GpuSystem::new(small_cfg(), |_| Box::new(IdealL1::new()), mk);
+        let stats = sys.run(1_000_000);
+        assert!(stats.l1.hits > 0, "second pass must hit");
+        // 8 distinct lines per SM; everything else merges or hits.
+        assert_eq!(stats.l1.misses, 16);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sys = GpuSystem::new(
+                small_cfg(),
+                |_| Box::new(IdealL1::new()),
+                |s, w| streaming_program(s, w, 6),
+            );
+            sys.run(1_000_000)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stores_generate_writeback_traffic_to_l2() {
+        let mk = |_s: usize, _w: u16| {
+            let v: Vec<WarpOp> = (0..4)
+                .map(|i| WarpOp::Mem(MemOp::strided(0x40, true, i as u64 * 128, 4, 32)))
+                .collect();
+            Box::new(StreamProgram::new(v)) as Box<dyn WarpProgram>
+        };
+        let cfg = GpuConfig { num_sms: 1, warps_per_sm: 1, ..GpuConfig::gtx480() };
+        let mut sys = GpuSystem::new(cfg, |_| Box::new(IdealL1::new()), mk);
+        let stats = sys.run(1_000_000);
+        assert!(sys.is_done());
+        // Write-allocate: store misses fetch their lines.
+        assert_eq!(stats.l1.misses, 4);
+    }
+}

@@ -1,0 +1,294 @@
+//! Event-counting energy model (the paper's GPUWattch role).
+//!
+//! The simulator increments an [`EnergyCounters`] as events occur; at the end
+//! of a run [`EnergyParams::evaluate`] turns counters plus elapsed cycles into
+//! an [`EnergyBreakdown`] in nanojoules. L1 per-access energies come from the
+//! bank parameters actually simulated ([`crate::tech::BankParams`]); the
+//! off-chip constants below are documented GDDR5/NoC estimates chosen so that
+//! the Fig. 1b baseline decomposition lands in the regime the paper reports
+//! (~71% of energy spent on off-chip service for memory-intensive workloads).
+
+use crate::tech::BankParams;
+
+/// Raw event counts accumulated during a simulation.
+///
+/// All counters are per-GPU totals (summed over SMs, L2 banks and DRAM
+/// channels).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyCounters {
+    /// SRAM L1 bank reads (128 B granularity).
+    pub sram_reads: u64,
+    /// SRAM L1 bank writes.
+    pub sram_writes: u64,
+    /// STT-MRAM L1 bank reads (includes NVM-CBF tests folded into reads).
+    pub stt_reads: u64,
+    /// STT-MRAM L1 bank writes.
+    pub stt_writes: u64,
+    /// L2 bank accesses (tag + data).
+    pub l2_accesses: u64,
+    /// DRAM column accesses (one 128 B burst each).
+    pub dram_accesses: u64,
+    /// Interconnect flits moved (32 B each, either direction).
+    pub net_flits: u64,
+    /// Warp instructions executed by the SMs.
+    pub warp_instructions: u64,
+}
+
+impl EnergyCounters {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise accumulation of another counter set into this one.
+    pub fn merge(&mut self, other: &EnergyCounters) {
+        self.sram_reads += other.sram_reads;
+        self.sram_writes += other.sram_writes;
+        self.stt_reads += other.stt_reads;
+        self.stt_writes += other.stt_writes;
+        self.l2_accesses += other.l2_accesses;
+        self.dram_accesses += other.dram_accesses;
+        self.net_flits += other.net_flits;
+        self.warp_instructions += other.warp_instructions;
+    }
+}
+
+/// Per-event energy constants and static powers.
+///
+/// L1 constants are injected per configuration from [`BankParams`]; the rest
+/// default to documented estimates:
+///
+/// * `l2_access_nj = 0.9` — CACTI 6.5-class figure for a 64 KB ECC bank access.
+/// * `dram_access_nj = 24.0` — GDDR5 class, ~23 pJ/bit for a 128 B burst
+///   including I/O and activation amortisation.
+/// * `net_flit_nj = 0.35` — per 32 B flit traversing the butterfly network.
+/// * `compute_nj_per_warp_instr = 0.9` — 32 lanes × ~28 pJ/op (GPUWattch
+///   Fermi class).
+/// * `sm_static_mw_per_sm = 35.0` — non-L1 SM static power; attributed to
+///   the compute share of Fig. 1b.
+/// * `dram_static_mw_per_channel = 150.0` — GDDR5 channel I/O + periphery
+///   static power, attributed to the DRAM share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// SRAM L1 bank parameters (dynamic energy + leakage), if present.
+    pub sram: Option<BankParams>,
+    /// STT-MRAM L1 bank parameters, if present.
+    pub stt: Option<BankParams>,
+    /// Energy per L2 bank access, nJ.
+    pub l2_access_nj: f64,
+    /// Energy per DRAM 128 B access, nJ.
+    pub dram_access_nj: f64,
+    /// Energy per network flit, nJ.
+    pub net_flit_nj: f64,
+    /// Energy per executed warp instruction, nJ.
+    pub compute_nj_per_warp_instr: f64,
+    /// Static (non-L1) power per SM, mW.
+    pub sm_static_mw_per_sm: f64,
+    /// Static power per DRAM channel (GDDR5 I/O + periphery), mW.
+    pub dram_static_mw_per_channel: f64,
+    /// Number of DRAM channels (for static power).
+    pub dram_channels: u32,
+    /// Number of SMs (for static power).
+    pub num_sms: u32,
+    /// Core clock in GHz; converts cycles to seconds for leakage.
+    pub clock_ghz: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            sram: Some(BankParams::sram_32kb()),
+            stt: None,
+            l2_access_nj: 0.9,
+            dram_access_nj: 24.0,
+            net_flit_nj: 0.35,
+            compute_nj_per_warp_instr: 0.9,
+            sm_static_mw_per_sm: 35.0,
+            dram_static_mw_per_channel: 150.0,
+            dram_channels: 6,
+            num_sms: 15,
+            clock_ghz: 0.7,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Evaluates counters gathered over `cycles` core cycles into a
+    /// breakdown in nJ.
+    ///
+    /// Leakage of each L1 bank is multiplied by the number of SMs, since
+    /// every SM carries a private copy of the bank.
+    pub fn evaluate(&self, c: &EnergyCounters, cycles: u64) -> EnergyBreakdown {
+        let seconds = cycles as f64 / (self.clock_ghz * 1e9);
+        let leak_nj = |mw: f64| mw * 1e-3 * seconds * 1e9 * self.num_sms as f64;
+
+        let (sram_dyn, sram_leak) = match &self.sram {
+            Some(b) => (
+                c.sram_reads as f64 * b.read_energy_nj + c.sram_writes as f64 * b.write_energy_nj,
+                leak_nj(b.leakage_mw),
+            ),
+            None => (0.0, 0.0),
+        };
+        let (stt_dyn, stt_leak) = match &self.stt {
+            Some(b) => (
+                c.stt_reads as f64 * b.read_energy_nj + c.stt_writes as f64 * b.write_energy_nj,
+                leak_nj(b.leakage_mw),
+            ),
+            None => (0.0, 0.0),
+        };
+        EnergyBreakdown {
+            sram_dynamic_nj: sram_dyn,
+            sram_leakage_nj: sram_leak,
+            stt_dynamic_nj: stt_dyn,
+            stt_leakage_nj: stt_leak,
+            l2_nj: c.l2_accesses as f64 * self.l2_access_nj,
+            dram_nj: c.dram_accesses as f64 * self.dram_access_nj
+                + self.dram_static_mw_per_channel * 1e-3 * seconds * 1e9
+                    * self.dram_channels as f64,
+            network_nj: c.net_flits as f64 * self.net_flit_nj,
+            compute_nj: c.warp_instructions as f64 * self.compute_nj_per_warp_instr
+                + self.sm_static_mw_per_sm * 1e-3 * seconds * 1e9 * self.num_sms as f64,
+        }
+    }
+}
+
+/// Energy decomposition of a run, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// L1 SRAM dynamic energy.
+    pub sram_dynamic_nj: f64,
+    /// L1 SRAM leakage over the run.
+    pub sram_leakage_nj: f64,
+    /// L1 STT-MRAM dynamic energy.
+    pub stt_dynamic_nj: f64,
+    /// L1 STT-MRAM leakage over the run.
+    pub stt_leakage_nj: f64,
+    /// L2 bank access energy.
+    pub l2_nj: f64,
+    /// DRAM access energy.
+    pub dram_nj: f64,
+    /// Interconnect energy.
+    pub network_nj: f64,
+    /// SM computation energy (dynamic + non-L1 static).
+    pub compute_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total L1D energy (dynamic + leakage of both banks) — the quantity
+    /// plotted in Fig. 17.
+    pub fn l1_nj(&self) -> f64 {
+        self.sram_dynamic_nj + self.sram_leakage_nj + self.stt_dynamic_nj + self.stt_leakage_nj
+    }
+
+    /// Energy spent servicing off-chip accesses (network + DRAM) — the
+    /// off-chip share of Fig. 1b.
+    pub fn offchip_nj(&self) -> f64 {
+        self.network_nj + self.dram_nj
+    }
+
+    /// Whole-GPU total.
+    pub fn total_nj(&self) -> f64 {
+        self.l1_nj() + self.l2_nj + self.offchip_nj() + self.compute_nj
+    }
+
+    /// Fraction of total energy spent off chip (Fig. 1b's headline metric).
+    ///
+    /// Returns 0 for an empty run rather than NaN.
+    pub fn offchip_fraction(&self) -> f64 {
+        let total = self.total_nj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.offchip_nj() / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EnergyParams {
+        EnergyParams {
+            sram: Some(BankParams::sram_16kb()),
+            stt: Some(BankParams::stt_64kb()),
+            ..EnergyParams::default()
+        }
+    }
+
+    #[test]
+    fn zero_run_is_zero() {
+        let b = params().evaluate(&EnergyCounters::new(), 0);
+        assert_eq!(b.total_nj(), 0.0);
+        assert_eq!(b.offchip_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_events() {
+        let mut c = EnergyCounters::new();
+        c.stt_writes = 10;
+        let b = params().evaluate(&c, 0);
+        assert!((b.stt_dynamic_nj - 24.0).abs() < 1e-9, "10 writes x 2.4 nJ");
+    }
+
+    #[test]
+    fn leakage_scales_with_cycles_and_sms() {
+        let p = params();
+        let short = p.evaluate(&EnergyCounters::new(), 1_000);
+        let long = p.evaluate(&EnergyCounters::new(), 2_000);
+        assert!((long.sram_leakage_nj / short.sram_leakage_nj - 2.0).abs() < 1e-9);
+        // SRAM leaks far more than STT-MRAM (58/36 mW vs 2.5 mW class).
+        assert!(long.sram_leakage_nj > 10.0 * long.stt_leakage_nj);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let mut c = EnergyCounters::new();
+        c.sram_reads = 100;
+        c.stt_writes = 5;
+        c.l2_accesses = 40;
+        c.dram_accesses = 20;
+        c.net_flits = 200;
+        c.warp_instructions = 1_000;
+        let b = params().evaluate(&c, 10_000);
+        let sum = b.sram_dynamic_nj
+            + b.sram_leakage_nj
+            + b.stt_dynamic_nj
+            + b.stt_leakage_nj
+            + b.l2_nj
+            + b.dram_nj
+            + b.network_nj
+            + b.compute_nj;
+        assert!((sum - b.total_nj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_run_is_offchip_dominated() {
+        // APKI 64 at 70% L1 miss rate over 150k warp instructions on a
+        // 15-SM GPU running 20k cycles (IPC 0.5/SM).
+        let mut c = EnergyCounters::new();
+        c.warp_instructions = 150_000;
+        c.sram_reads = 9_600;
+        c.l2_accesses = 6_720;
+        c.dram_accesses = 6_000;
+        c.net_flits = 6_720 * 10;
+        let b = params().evaluate(&c, 20_000);
+        assert!(
+            b.offchip_fraction() > 0.35,
+            "off-chip fraction {} too small for a memory-bound run",
+            b.offchip_fraction()
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyCounters::new();
+        a.sram_reads = 1;
+        let mut b = EnergyCounters::new();
+        b.sram_reads = 2;
+        b.dram_accesses = 3;
+        a.merge(&b);
+        assert_eq!(a.sram_reads, 3);
+        assert_eq!(a.dram_accesses, 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fuse-mem — memory-technology substrate for the FUSE reproduction
+//!
+//! This crate models the *device level* of the FUSE system (Zhang, Jung,
+//! Kandemir, HPCA 2019): SRAM and STT-MRAM bank parameters (latency, dynamic
+//! energy, leakage, cell area), an event-counting energy model equivalent to
+//! the paper's GPUWattch/CACTI/NVSim usage, an analytical transistor-count
+//! area model reproducing Table III, and a GDDR5-like DRAM channel timing
+//! model with row-buffer state.
+//!
+//! The numeric constants are transcribed from Table I of the paper wherever
+//! the paper publishes them; everything else is documented at its definition.
+//!
+//! # Examples
+//!
+//! ```
+//! use fuse_mem::tech::BankParams;
+//!
+//! let sram = BankParams::sram_16kb();
+//! let stt = BankParams::stt_64kb();
+//! assert_eq!(stt.write_latency, 5 * sram.write_latency);
+//! assert!(stt.capacity_bytes == 4 * sram.capacity_bytes);
+//! ```
+
+pub mod area;
+pub mod dram;
+pub mod energy;
+pub mod tech;
+
+pub use area::{AreaReport, ComponentArea};
+pub use dram::{DramChannel, DramCompletion, DramRequest, DramTiming};
+pub use energy::{EnergyBreakdown, EnergyCounters, EnergyParams};
+pub use tech::{BankParams, MemTechnology};

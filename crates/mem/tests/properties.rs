@@ -1,0 +1,97 @@
+//! Property-based tests over the DRAM timing model and energy arithmetic.
+
+use proptest::prelude::*;
+
+use fuse_mem::dram::{DramChannel, DramRequest, DramTiming};
+use fuse_mem::energy::{EnergyCounters, EnergyParams};
+use fuse_mem::tech::BankParams;
+
+proptest! {
+    #[test]
+    fn every_accepted_dram_request_completes_exactly_once(
+        lines in prop::collection::vec(0u64..256, 1..60),
+    ) {
+        let mut ch = DramChannel::new(DramTiming::default());
+        let mut accepted = std::collections::HashSet::new();
+        for (i, &l) in lines.iter().enumerate() {
+            if ch.try_push(DramRequest { id: i as u64, line: l, is_write: false, arrival: 0 }) {
+                accepted.insert(i as u64);
+            }
+        }
+        let mut completed = std::collections::HashSet::new();
+        for now in 0..200_000u64 {
+            for c in ch.tick(now) {
+                prop_assert!(c.finished_at <= now);
+                prop_assert!(completed.insert(c.id), "duplicate completion {}", c.id);
+            }
+            if completed.len() == accepted.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(completed, accepted);
+    }
+
+    #[test]
+    fn dram_completions_never_precede_minimum_latency(
+        lines in prop::collection::vec(0u64..64, 1..30),
+    ) {
+        let t = DramTiming::default();
+        let min_latency = (t.t_cl * t.clock_ratio) as u64; // best case: row hit
+        let mut ch = DramChannel::new(t);
+        for (i, &l) in lines.iter().enumerate() {
+            let _ = ch.try_push(DramRequest { id: i as u64, line: l, is_write: false, arrival: 0 });
+        }
+        for now in 0..100_000u64 {
+            for c in ch.tick(now) {
+                prop_assert!(
+                    c.finished_at >= min_latency,
+                    "completion at {} beats tCL {}",
+                    c.finished_at,
+                    min_latency
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_monotone_in_events_and_cycles(
+        reads in 0u64..1000,
+        writes in 0u64..1000,
+        cycles in 0u64..1_000_000,
+    ) {
+        let params = EnergyParams {
+            sram: Some(BankParams::sram_16kb()),
+            stt: Some(BankParams::stt_64kb()),
+            ..EnergyParams::default()
+        };
+        let mut a = EnergyCounters::new();
+        a.stt_reads = reads;
+        a.stt_writes = writes;
+        let mut b = a;
+        b.stt_writes += 1;
+        let ea = params.evaluate(&a, cycles);
+        let eb = params.evaluate(&b, cycles);
+        prop_assert!(eb.total_nj() > ea.total_nj(), "an extra write must cost energy");
+        let ec = params.evaluate(&a, cycles + 1000);
+        prop_assert!(ec.total_nj() >= ea.total_nj(), "longer runs cannot cost less");
+        // Breakdown components are all non-negative.
+        for v in [
+            ea.sram_dynamic_nj, ea.sram_leakage_nj, ea.stt_dynamic_nj, ea.stt_leakage_nj,
+            ea.l2_nj, ea.dram_nj, ea.network_nj, ea.compute_nj,
+        ] {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bank_interpolation_stays_within_reason(capacity_kb in 1u64..512) {
+        let sram = BankParams::sram_for_capacity(capacity_kb * 1024);
+        let stt = BankParams::stt_for_capacity(capacity_kb * 1024);
+        prop_assert!(sram.read_energy_nj > 0.0 && sram.leakage_mw > 0.0);
+        prop_assert!(stt.read_energy_nj > 0.0 && stt.leakage_mw > 0.0);
+        prop_assert_eq!(stt.write_latency, 5 * stt.read_latency);
+        // STT leaks far less than SRAM at every size (the non-volatility
+        // argument of the paper).
+        prop_assert!(stt.leakage_mw < sram.leakage_mw);
+    }
+}

@@ -1,0 +1,191 @@
+//! DASCA-style dead-write predictor for the `By-NVM` baseline.
+//!
+//! The paper's pure-STT baseline integrates "dead-write prediction \[30\]
+//! (Ahn et al., DASCA, HPCA 2014) to avoid frequent STT-MRAM writes": a
+//! block that is written once and never re-referenced before eviction is a
+//! *dead write* and should bypass the cache entirely. Like the read-level
+//! predictor, the GPU variant keys on PC signatures and samples a few
+//! representative warps.
+
+use crate::read_level::ReadLevelPredictor;
+use crate::sampler::{SampleOutcome, Sampler};
+use fuse_cache::line::LineAddr;
+
+/// Configuration of the dead-write predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadWriteConfig {
+    /// Sampler sets (one per representative warp).
+    pub sampler_sets: usize,
+    /// Sampler associativity.
+    pub sampler_ways: usize,
+    /// Every `warp_stride`-th warp is sampled.
+    pub warp_stride: u16,
+    /// Signature table entries (power of two).
+    pub table_entries: usize,
+    /// Confidence at or above which a signature's blocks are bypassed
+    /// (2-bit counters; default 2 = weakly dead).
+    pub bypass_threshold: u8,
+}
+
+impl Default for DeadWriteConfig {
+    fn default() -> Self {
+        DeadWriteConfig {
+            sampler_sets: 4,
+            sampler_ways: 8,
+            warp_stride: 12,
+            table_entries: 1024,
+            bypass_threshold: 2,
+        }
+    }
+}
+
+/// The dead-write predictor.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_predict::dead_write::DeadWritePredictor;
+/// use fuse_cache::line::LineAddr;
+///
+/// let mut p = DeadWritePredictor::default();
+/// let sig = 42;
+/// // A streaming store pattern: every block touched once by warp 0.
+/// for i in 0..2000u64 {
+///     p.observe(0, sig, LineAddr(i * 8), true);
+/// }
+/// assert!(p.predict_dead(sig));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeadWritePredictor {
+    cfg: DeadWriteConfig,
+    sampler: Sampler,
+    table: Vec<u8>, // 2-bit saturating dead-confidence counters
+}
+
+impl Default for DeadWritePredictor {
+    fn default() -> Self {
+        Self::new(DeadWriteConfig::default())
+    }
+}
+
+impl DeadWritePredictor {
+    /// Creates a predictor with zero dead confidence everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` is zero or not a power of two, or the
+    /// threshold exceeds 3.
+    pub fn new(cfg: DeadWriteConfig) -> Self {
+        assert!(
+            cfg.table_entries > 0 && cfg.table_entries.is_power_of_two(),
+            "table entries must be a power of two"
+        );
+        assert!(cfg.bypass_threshold <= 3, "threshold must fit a 2-bit counter");
+        DeadWritePredictor {
+            sampler: Sampler::new(cfg.sampler_sets, cfg.sampler_ways),
+            table: vec![0; cfg.table_entries],
+            cfg,
+        }
+    }
+
+    fn idx(&self, sig: u16) -> usize {
+        sig as usize & (self.cfg.table_entries - 1)
+    }
+
+    /// Whether `warp` is sampled.
+    pub fn is_sampled_warp(&self, warp: u16) -> bool {
+        warp % self.cfg.warp_stride == 0
+            && (warp / self.cfg.warp_stride) < self.cfg.sampler_sets as u16
+    }
+
+    /// Feeds one cache access into the training sampler.
+    pub fn observe(&mut self, warp: u16, pc_sig: u16, line: LineAddr, is_store: bool) {
+        if !self.is_sampled_warp(warp) {
+            return;
+        }
+        let set = (warp / self.cfg.warp_stride) as usize;
+        match self.sampler.observe(set, ReadLevelPredictor::line_tag(line), pc_sig, is_store) {
+            SampleOutcome::Hit { signature } => {
+                // Re-referenced: the signature's blocks are live.
+                let i = self.idx(signature);
+                self.table[i] = self.table[i].saturating_sub(1);
+            }
+            SampleOutcome::Inserted { evicted: Some((signature, used, _)) } if !used => {
+                // Died untouched: dead write.
+                let i = self.idx(signature);
+                self.table[i] = (self.table[i] + 1).min(3);
+            }
+            SampleOutcome::Inserted { .. } => {}
+        }
+    }
+
+    /// True if blocks from `pc_sig` should bypass the STT-MRAM cache.
+    pub fn predict_dead(&self, pc_sig: u16) -> bool {
+        self.table[self.idx(pc_sig)] >= self.cfg.bypass_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_predictor_keeps_everything() {
+        let p = DeadWritePredictor::default();
+        for sig in 0..64 {
+            assert!(!p.predict_dead(sig));
+        }
+    }
+
+    #[test]
+    fn streaming_writes_become_dead() {
+        let mut p = DeadWritePredictor::default();
+        for i in 0..500u64 {
+            p.observe(0, 7, LineAddr(i * 4), true);
+        }
+        assert!(p.predict_dead(7));
+    }
+
+    #[test]
+    fn reused_blocks_stay_live() {
+        let mut p = DeadWritePredictor::default();
+        for _ in 0..100 {
+            p.observe(0, 9, LineAddr(5), true);
+            p.observe(0, 9, LineAddr(5), false);
+        }
+        assert!(!p.predict_dead(9));
+    }
+
+    #[test]
+    fn dead_confidence_recovers_when_reuse_appears() {
+        let mut p = DeadWritePredictor::default();
+        for i in 0..500u64 {
+            p.observe(0, 3, LineAddr(i * 4), true);
+        }
+        assert!(p.predict_dead(3));
+        // The kernel enters a reuse phase.
+        for _ in 0..200 {
+            p.observe(0, 3, LineAddr(1), false);
+            p.observe(0, 3, LineAddr(2), false);
+        }
+        assert!(!p.predict_dead(3));
+    }
+
+    #[test]
+    fn non_sampled_warps_are_ignored() {
+        let mut p = DeadWritePredictor::default();
+        for i in 0..500u64 {
+            p.observe(5, 7, LineAddr(i * 4), true);
+        }
+        assert!(!p.predict_dead(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_table_rejected() {
+        let _ = DeadWritePredictor::new(DeadWriteConfig {
+            table_entries: 100,
+            ..DeadWriteConfig::default()
+        });
+    }
+}

@@ -1,0 +1,232 @@
+//! Prediction history table (§IV-B).
+//!
+//! A signature-indexed SRAM array; each entry holds a 1-bit R/W status and
+//! a 4-bit saturating counter, initialised to 8 with status 'R'.
+//!
+//! Training, exactly as the paper specifies:
+//! * a sampler **hit** *decrements* the counter of the hit entry's fill
+//!   signature (the block was re-referenced — low counter = reused);
+//! * a sampler **eviction with the used bit clear** *increments* the
+//!   counter (the block died untouched — high counter = write-once).
+//!
+//! Classification (`unused_th = 14` per Table I):
+//! * counter ≥ `unused_th` → WORO;
+//! * counter ≤ 1 → WM if status is 'W', WORM if 'R';
+//! * otherwise → neutral (read-intensive).
+//!
+//! The status bit tracks whether re-references are stores: a store hit
+//! raises write confidence, a load hit lowers it; status reads 'W' when
+//! confidence is high. (The paper specifies a single bit; the 2-bit
+//! confidence is a standard hysteresis refinement that prevents a single
+//! stray store from permanently flipping a read-only signature.)
+
+use crate::class::ReadLevel;
+
+/// Configuration of the history table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryConfig {
+    /// Number of entries (Table I: 1024).
+    pub entries: usize,
+    /// WORO threshold (`unused_th`, Table I: 14).
+    pub unused_threshold: u8,
+    /// Counter initialisation value (paper: 8).
+    pub init_counter: u8,
+}
+
+impl Default for HistoryConfig {
+    fn default() -> Self {
+        HistoryConfig { entries: 1024, unused_threshold: 14, init_counter: 8 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HistEntry {
+    counter: u8,    // 4-bit saturating, 0..=15
+    write_conf: u8, // 2-bit saturating; status reads 'W' when >= 2
+}
+
+/// The signature-indexed prediction history table.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_predict::history::{HistoryTable, HistoryConfig};
+/// use fuse_predict::class::ReadLevel;
+///
+/// let mut t = HistoryTable::new(HistoryConfig::default());
+/// assert_eq!(t.classify(5), ReadLevel::Neutral); // init counter 8
+/// for _ in 0..8 {
+///     t.on_sampler_hit(5, false);
+/// }
+/// assert_eq!(t.classify(5), ReadLevel::Worm);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryTable {
+    cfg: HistoryConfig,
+    entries: Vec<HistEntry>,
+}
+
+impl HistoryTable {
+    /// Creates a table with every counter at the init value and status 'R'.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two, if the threshold
+    /// exceeds 15, or if the init value is not strictly between the
+    /// confident extremes.
+    pub fn new(cfg: HistoryConfig) -> Self {
+        assert!(
+            cfg.entries > 0 && cfg.entries.is_power_of_two(),
+            "history entries must be a power of two"
+        );
+        assert!(cfg.unused_threshold <= 15, "threshold must fit a 4-bit counter");
+        assert!(
+            cfg.init_counter > 1 && cfg.init_counter < cfg.unused_threshold,
+            "init counter must start in the neutral band"
+        );
+        HistoryTable {
+            entries: vec![
+                HistEntry { counter: cfg.init_counter, write_conf: 0 };
+                cfg.entries
+            ],
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> HistoryConfig {
+        self.cfg
+    }
+
+    fn idx(&self, signature: u16) -> usize {
+        signature as usize & (self.cfg.entries - 1)
+    }
+
+    /// Trains on a sampler hit (block re-referenced).
+    pub fn on_sampler_hit(&mut self, signature: u16, is_store: bool) {
+        let i = self.idx(signature);
+        let e = &mut self.entries[i];
+        e.counter = e.counter.saturating_sub(1);
+        if is_store {
+            e.write_conf = (e.write_conf + 1).min(3);
+        } else {
+            e.write_conf = e.write_conf.saturating_sub(1);
+        }
+    }
+
+    /// Trains on a sampler eviction whose used bit was clear (block died
+    /// without any re-reference).
+    pub fn on_unused_eviction(&mut self, signature: u16) {
+        let i = self.idx(signature);
+        let e = &mut self.entries[i];
+        e.counter = (e.counter + 1).min(15);
+    }
+
+    /// Classifies the blocks of `signature` per the paper's thresholds.
+    pub fn classify(&self, signature: u16) -> ReadLevel {
+        let e = &self.entries[self.idx(signature)];
+        if e.counter >= self.cfg.unused_threshold {
+            ReadLevel::Woro
+        } else if e.counter <= 1 {
+            if e.write_conf >= 2 {
+                ReadLevel::Wm
+            } else {
+                ReadLevel::Worm
+            }
+        } else {
+            ReadLevel::Neutral
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> HistoryTable {
+        HistoryTable::new(HistoryConfig::default())
+    }
+
+    #[test]
+    fn initial_state_is_neutral() {
+        let t = table();
+        for sig in [0u16, 100, 511, 1023] {
+            assert_eq!(t.classify(sig), ReadLevel::Neutral);
+        }
+    }
+
+    #[test]
+    fn repeated_reads_converge_to_worm() {
+        let mut t = table();
+        for _ in 0..10 {
+            t.on_sampler_hit(7, false);
+        }
+        assert_eq!(t.classify(7), ReadLevel::Worm);
+    }
+
+    #[test]
+    fn repeated_writes_converge_to_wm() {
+        let mut t = table();
+        for _ in 0..10 {
+            t.on_sampler_hit(7, true);
+        }
+        assert_eq!(t.classify(7), ReadLevel::Wm);
+    }
+
+    #[test]
+    fn unused_evictions_converge_to_woro() {
+        let mut t = table();
+        for _ in 0..8 {
+            t.on_unused_eviction(3);
+        }
+        assert_eq!(t.classify(3), ReadLevel::Woro);
+    }
+
+    #[test]
+    fn counter_saturates_both_ways() {
+        let mut t = table();
+        for _ in 0..100 {
+            t.on_unused_eviction(1);
+        }
+        assert_eq!(t.classify(1), ReadLevel::Woro);
+        for _ in 0..100 {
+            t.on_sampler_hit(1, false);
+        }
+        assert_eq!(t.classify(1), ReadLevel::Worm, "must recover after saturation");
+    }
+
+    #[test]
+    fn stray_store_does_not_flip_read_signature() {
+        let mut t = table();
+        for _ in 0..10 {
+            t.on_sampler_hit(2, false);
+        }
+        t.on_sampler_hit(2, true); // one misleading store
+        assert_eq!(t.classify(2), ReadLevel::Worm, "hysteresis should hold");
+    }
+
+    #[test]
+    fn signatures_alias_by_mask() {
+        let mut t = table();
+        for _ in 0..10 {
+            t.on_sampler_hit(5, true);
+        }
+        // 1029 & 1023 == 5: same entry.
+        assert_eq!(t.classify(1029), ReadLevel::Wm);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_entry_count_rejected() {
+        let _ = HistoryTable::new(HistoryConfig { entries: 1000, ..HistoryConfig::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "neutral band")]
+    fn bad_init_rejected() {
+        let _ = HistoryTable::new(HistoryConfig {
+            init_counter: 15,
+            ..HistoryConfig::default()
+        });
+    }
+}

@@ -1,0 +1,43 @@
+//! # fuse-predict — runtime access-pattern predictors
+//!
+//! Two PC-signature-based predictors from the FUSE paper (Zhang, Jung,
+//! Kandemir, HPCA 2019):
+//!
+//! * [`read_level`] — the read-level predictor of §IV-B: a 4-set × 8-way
+//!   memory-request sampler feeding a signature-indexed prediction history
+//!   table that classifies each static memory instruction's blocks as
+//!   write-multiple (WM), read-intensive, write-once-read-multiple (WORM)
+//!   or write-once-read-once (WORO). The `Dy-FUSE` controller uses the
+//!   classification to steer block placement between SRAM and STT-MRAM and
+//!   to bypass WORO blocks.
+//! * [`dead_write`] — a DASCA-style dead-write predictor [Ahn et al.,
+//!   HPCA 2014], used by the `By-NVM` baseline to bypass blocks that are
+//!   written once and never re-referenced before eviction.
+//!
+//! Both predictors exploit the paper's key GPU observation: warps of a
+//! kernel execute the same instructions, so the behaviour sampled from a
+//! few representative warps predicts all of them.
+//!
+//! # Examples
+//!
+//! ```
+//! use fuse_predict::read_level::{ReadLevelPredictor, ReadLevelConfig};
+//! use fuse_predict::class::ReadLevel;
+//! use fuse_cache::line::LineAddr;
+//!
+//! let mut p = ReadLevelPredictor::new(ReadLevelConfig::default());
+//! let sig = ReadLevelPredictor::pc_signature(0x400);
+//! // Before any history accumulates the predictor answers Neutral.
+//! assert_eq!(p.classify(sig), ReadLevel::Neutral);
+//! p.observe(0, sig, LineAddr(1), false);
+//! ```
+
+pub mod class;
+pub mod dead_write;
+pub mod history;
+pub mod read_level;
+pub mod sampler;
+
+pub use class::ReadLevel;
+pub use dead_write::DeadWritePredictor;
+pub use read_level::{AccuracyTracker, PredictionGrade, ReadLevelConfig, ReadLevelPredictor};

@@ -1,0 +1,321 @@
+//! The read-level predictor (§IV-B, Fig. 11) and its accuracy tracker
+//! (Fig. 16).
+
+use crate::class::ReadLevel;
+use crate::history::{HistoryConfig, HistoryTable};
+use crate::sampler::{SampleOutcome, Sampler};
+use fuse_cache::line::LineAddr;
+
+/// Configuration of the full predictor (sampler + history table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadLevelConfig {
+    /// Sampler sets (paper: 4, one per representative warp).
+    pub sampler_sets: usize,
+    /// Sampler associativity (paper: 8).
+    pub sampler_ways: usize,
+    /// Every `warp_stride`-th warp is sampled; with 48 warps/SM and 4 sets
+    /// the paper samples 4 representative warps → stride 12.
+    pub warp_stride: u16,
+    /// History table parameters.
+    pub history: HistoryConfig,
+}
+
+impl Default for ReadLevelConfig {
+    fn default() -> Self {
+        ReadLevelConfig {
+            sampler_sets: 4,
+            sampler_ways: 8,
+            warp_stride: 12,
+            history: HistoryConfig::default(),
+        }
+    }
+}
+
+/// The read-level predictor: request sampler + prediction history table.
+///
+/// Call [`ReadLevelPredictor::observe`] for every L1D access (the predictor
+/// internally samples only the representative warps) and
+/// [`ReadLevelPredictor::classify`] wherever the arbitration logic needs a
+/// read-level decision.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_predict::read_level::{ReadLevelPredictor, ReadLevelConfig};
+/// use fuse_predict::class::ReadLevel;
+/// use fuse_cache::line::LineAddr;
+///
+/// let mut p = ReadLevelPredictor::new(ReadLevelConfig::default());
+/// let sig = ReadLevelPredictor::pc_signature(0x8010);
+/// // Warp 0 is representative; stream a block it writes once then reads.
+/// p.observe(0, sig, LineAddr(100), true);
+/// for _ in 0..10 {
+///     p.observe(0, sig, LineAddr(100), false);
+/// }
+/// assert_eq!(p.classify(sig), ReadLevel::Worm);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadLevelPredictor {
+    cfg: ReadLevelConfig,
+    sampler: Sampler,
+    history: HistoryTable,
+    observed: u64,
+    sampled: u64,
+}
+
+impl ReadLevelPredictor {
+    /// Creates a predictor with untrained (neutral) history.
+    pub fn new(cfg: ReadLevelConfig) -> Self {
+        ReadLevelPredictor {
+            sampler: Sampler::new(cfg.sampler_sets, cfg.sampler_ways),
+            history: HistoryTable::new(cfg.history),
+            cfg,
+            observed: 0,
+            sampled: 0,
+        }
+    }
+
+    /// The 10-bit partial-PC signature used throughout the predictor.
+    ///
+    /// PCs are word-granular, so the low 2 bits carry no information.
+    pub fn pc_signature(pc: u32) -> u16 {
+        ((pc >> 2) & 0x3FF) as u16
+    }
+
+    /// The 15-bit partial line-address tag stored in the sampler.
+    pub fn line_tag(line: LineAddr) -> u16 {
+        (line.0 & 0x7FFF) as u16
+    }
+
+    /// Whether `warp` is one of the representative warps being sampled.
+    pub fn is_sampled_warp(&self, warp: u16) -> bool {
+        warp % self.cfg.warp_stride == 0
+            && (warp / self.cfg.warp_stride) < self.cfg.sampler_sets as u16
+    }
+
+    /// Feeds one L1D access into the predictor. Non-representative warps
+    /// are ignored (that is the sampling).
+    pub fn observe(&mut self, warp: u16, pc_sig: u16, line: LineAddr, is_store: bool) {
+        self.observed += 1;
+        if !self.is_sampled_warp(warp) {
+            return;
+        }
+        self.sampled += 1;
+        let set = (warp / self.cfg.warp_stride) as usize;
+        match self.sampler.observe(set, Self::line_tag(line), pc_sig, is_store) {
+            SampleOutcome::Hit { signature } => self.history.on_sampler_hit(signature, is_store),
+            SampleOutcome::Inserted { evicted: Some((signature, used, _written)) } => {
+                if !used {
+                    self.history.on_unused_eviction(signature);
+                }
+            }
+            SampleOutcome::Inserted { evicted: None } => {}
+        }
+    }
+
+    /// Classifies the blocks produced by instruction `pc_sig`.
+    pub fn classify(&self, pc_sig: u16) -> ReadLevel {
+        self.history.classify(pc_sig)
+    }
+
+    /// `(total observed, actually sampled)` access counts.
+    pub fn sample_counts(&self) -> (u64, u64) {
+        (self.observed, self.sampled)
+    }
+}
+
+/// How a prediction graded against the block's actual lifetime (Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictionGrade {
+    /// Predicted WM and saw multiple writes, or predicted WORM/WORO and saw
+    /// a single write.
+    True,
+    /// The opposite outcomes.
+    False,
+    /// The predictor declined to predict (neutral).
+    Neutral,
+}
+
+/// Accumulates prediction grades at block-eviction time.
+///
+/// The FUSE controller records the predicted class in each tag entry's aux
+/// word at fill time, counts writes while resident, and grades the pair on
+/// eviction — exactly the paper's Fig. 16 methodology.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_predict::read_level::AccuracyTracker;
+/// use fuse_predict::class::ReadLevel;
+///
+/// let mut t = AccuracyTracker::default();
+/// t.record(ReadLevel::Worm, 1); // predicted read-only, written once: true
+/// t.record(ReadLevel::Wm, 1);   // predicted write-multiple, one write: false
+/// assert_eq!(t.trues, 1);
+/// assert_eq!(t.falses, 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccuracyTracker {
+    /// Correct predictions.
+    pub trues: u64,
+    /// Incorrect predictions.
+    pub falses: u64,
+    /// Neutral (no prediction offered).
+    pub neutrals: u64,
+}
+
+impl AccuracyTracker {
+    /// Grades one evicted block: `prediction` from fill time,
+    /// `writes_observed` counted while resident (including the filling
+    /// write).
+    pub fn record(&mut self, prediction: ReadLevel, writes_observed: u32) {
+        match self.grade(prediction, writes_observed) {
+            PredictionGrade::True => self.trues += 1,
+            PredictionGrade::False => self.falses += 1,
+            PredictionGrade::Neutral => self.neutrals += 1,
+        }
+    }
+
+    /// The grade without recording it.
+    pub fn grade(&self, prediction: ReadLevel, writes_observed: u32) -> PredictionGrade {
+        match prediction {
+            ReadLevel::Neutral => PredictionGrade::Neutral,
+            ReadLevel::Wm => {
+                if writes_observed >= 2 {
+                    PredictionGrade::True
+                } else {
+                    PredictionGrade::False
+                }
+            }
+            ReadLevel::Worm | ReadLevel::Woro => {
+                if writes_observed <= 1 {
+                    PredictionGrade::True
+                } else {
+                    PredictionGrade::False
+                }
+            }
+        }
+    }
+
+    /// Total graded predictions.
+    pub fn total(&self) -> u64 {
+        self.trues + self.falses + self.neutrals
+    }
+
+    /// Fraction graded `True` (the paper reports 95% on average).
+    ///
+    /// Returns 0 when nothing was graded.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.trues as f64 / self.total() as f64
+        }
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &AccuracyTracker) {
+        self.trues += other.trues;
+        self.falses += other.falses;
+        self.neutrals += other.neutrals;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> ReadLevelPredictor {
+        ReadLevelPredictor::new(ReadLevelConfig::default())
+    }
+
+    #[test]
+    fn representative_warps_match_paper_geometry() {
+        let p = predictor();
+        let sampled: Vec<u16> = (0..48).filter(|&w| p.is_sampled_warp(w)).collect();
+        assert_eq!(sampled, vec![0, 12, 24, 36], "4 of 48 warps");
+    }
+
+    #[test]
+    fn non_representative_warps_do_not_train() {
+        let mut p = predictor();
+        let sig = ReadLevelPredictor::pc_signature(0x100);
+        for i in 0..100 {
+            p.observe(1, sig, LineAddr(i), false); // warp 1 is not sampled
+        }
+        let (observed, sampled) = p.sample_counts();
+        assert_eq!(observed, 100);
+        assert_eq!(sampled, 0);
+        assert_eq!(p.classify(sig), ReadLevel::Neutral);
+    }
+
+    #[test]
+    fn worm_stream_is_learned() {
+        let mut p = predictor();
+        let sig = ReadLevelPredictor::pc_signature(0x200);
+        // Warp 0 writes a block once then reads it repeatedly.
+        p.observe(0, sig, LineAddr(10), true);
+        for _ in 0..12 {
+            p.observe(0, sig, LineAddr(10), false);
+        }
+        assert_eq!(p.classify(sig), ReadLevel::Worm);
+    }
+
+    #[test]
+    fn wm_stream_is_learned() {
+        let mut p = predictor();
+        let sig = ReadLevelPredictor::pc_signature(0x300);
+        for _ in 0..12 {
+            p.observe(0, sig, LineAddr(20), true);
+        }
+        assert_eq!(p.classify(sig), ReadLevel::Wm);
+    }
+
+    #[test]
+    fn streaming_blocks_become_woro() {
+        let mut p = predictor();
+        let sig = ReadLevelPredictor::pc_signature(0x400);
+        // Warp 0 touches a fresh block every time; sampler entries die
+        // unused and train the signature towards WORO.
+        for i in 0..2000u64 {
+            p.observe(0, sig, LineAddr(i * 64), false);
+        }
+        assert_eq!(p.classify(sig), ReadLevel::Woro);
+    }
+
+    #[test]
+    fn signature_is_word_granular_and_bounded() {
+        assert_eq!(
+            ReadLevelPredictor::pc_signature(0x1000),
+            ReadLevelPredictor::pc_signature(0x1001),
+            "sub-word PC bits must not change the signature"
+        );
+        assert!(ReadLevelPredictor::pc_signature(u32::MAX) < 1024);
+    }
+
+    #[test]
+    fn accuracy_tracker_grades_per_paper() {
+        let t = AccuracyTracker::default();
+        assert_eq!(t.grade(ReadLevel::Wm, 3), PredictionGrade::True);
+        assert_eq!(t.grade(ReadLevel::Wm, 1), PredictionGrade::False);
+        assert_eq!(t.grade(ReadLevel::Worm, 1), PredictionGrade::True);
+        assert_eq!(t.grade(ReadLevel::Worm, 2), PredictionGrade::False);
+        assert_eq!(t.grade(ReadLevel::Woro, 0), PredictionGrade::True);
+        assert_eq!(t.grade(ReadLevel::Neutral, 5), PredictionGrade::Neutral);
+    }
+
+    #[test]
+    fn accuracy_math() {
+        let mut t = AccuracyTracker::default();
+        assert_eq!(t.accuracy(), 0.0);
+        t.record(ReadLevel::Worm, 1);
+        t.record(ReadLevel::Worm, 1);
+        t.record(ReadLevel::Wm, 1);
+        t.record(ReadLevel::Neutral, 1);
+        assert_eq!(t.total(), 4);
+        assert!((t.accuracy() - 0.5).abs() < 1e-9);
+        let mut u = AccuracyTracker::default();
+        u.merge(&t);
+        assert_eq!(u, t);
+    }
+}

@@ -1,0 +1,192 @@
+//! Memory-request sampler (§IV-B, Fig. 11).
+//!
+//! A small set-associative structure that shadows the requests of a few
+//! representative warps. Each entry keeps a valid bit ("V"), a used bit
+//! ("U"), LRU control bits ("RP"), 15 partial line-address bits ("Tag") and
+//! a partial-PC signature ("Signature" — the signature of the instruction
+//! that *filled* the entry). Hits set the used bit; evictions report
+//! whether the block was ever re-referenced, which is exactly the training
+//! signal both predictors need.
+
+/// One sampler entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct SamplerEntry {
+    valid: bool,
+    used: bool,
+    /// Whether any re-reference was a store (drives the R/W status bit).
+    written: bool,
+    lru: u64,
+    tag: u16,
+    signature: u16,
+}
+
+/// What happened when an access was run through the sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOutcome {
+    /// The block was re-referenced: `signature` is the *fill* signature of
+    /// the entry that hit.
+    Hit {
+        /// Fill-time signature of the hit entry.
+        signature: u16,
+    },
+    /// The access missed and was installed; a valid victim (if any) reports
+    /// its fill signature and whether it was ever re-referenced.
+    Inserted {
+        /// `(signature, used, written)` of the evicted entry.
+        evicted: Option<(u16, bool, bool)>,
+    },
+}
+
+/// The sampler: `sets` × `ways`, true-LRU within a set.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_predict::sampler::{Sampler, SampleOutcome};
+/// let mut s = Sampler::new(4, 8);
+/// match s.observe(0, 0x1234, 42, false) {
+///     SampleOutcome::Inserted { evicted } => assert!(evicted.is_none()),
+///     _ => unreachable!("first touch must insert"),
+/// }
+/// assert!(matches!(s.observe(0, 0x1234, 42, false), SampleOutcome::Hit { signature: 42 }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    sets: usize,
+    ways: usize,
+    entries: Vec<SamplerEntry>,
+    clock: u64,
+}
+
+impl Sampler {
+    /// Creates an empty sampler (paper: 4 sets × 8 ways).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "sampler geometry must be non-zero");
+        Sampler { sets, ways, entries: vec![SamplerEntry::default(); sets * ways], clock: 0 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Runs one sampled access through set `set`.
+    ///
+    /// `tag` is the 15-bit partial line address, `signature` the partial-PC
+    /// signature of the requesting instruction, `is_store` whether the
+    /// access writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn observe(
+        &mut self,
+        set: usize,
+        tag: u16,
+        signature: u16,
+        is_store: bool,
+    ) -> SampleOutcome {
+        assert!(set < self.sets, "sampler set {set} out of range");
+        self.clock += 1;
+        let base = set * self.ways;
+        // Hit path: mark used, refresh LRU, report the fill signature.
+        for i in base..base + self.ways {
+            if self.entries[i].valid && self.entries[i].tag == tag {
+                self.entries[i].used = true;
+                self.entries[i].written |= is_store;
+                self.entries[i].lru = self.clock;
+                return SampleOutcome::Hit { signature: self.entries[i].signature };
+            }
+        }
+        // Miss path: evict LRU (preferring invalid ways), install fresh.
+        let victim_idx = (base..base + self.ways)
+            .min_by_key(|&i| if self.entries[i].valid { self.entries[i].lru + 1 } else { 0 })
+            .expect("set has ways");
+        let victim = self.entries[victim_idx];
+        let evicted = victim.valid.then_some((victim.signature, victim.used, victim.written));
+        self.entries[victim_idx] = SamplerEntry {
+            valid: true,
+            used: false,
+            written: false,
+            lru: self.clock,
+            tag,
+            signature,
+        };
+        SampleOutcome::Inserted { evicted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_reports_fill_signature() {
+        let mut s = Sampler::new(2, 2);
+        s.observe(0, 7, 100, false);
+        // Hit from a *different* instruction still reports the fill sig.
+        match s.observe(0, 7, 200, false) {
+            SampleOutcome::Hit { signature } => assert_eq!(signature, 100),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_reports_unused_blocks() {
+        let mut s = Sampler::new(1, 2);
+        s.observe(0, 1, 11, false);
+        s.observe(0, 2, 22, false);
+        // Third distinct tag evicts LRU (tag 1, never re-referenced).
+        match s.observe(0, 3, 33, false) {
+            SampleOutcome::Inserted { evicted: Some((sig, used, written)) } => {
+                assert_eq!(sig, 11);
+                assert!(!used);
+                assert!(!written);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_reports_used_and_written_blocks() {
+        let mut s = Sampler::new(1, 2);
+        s.observe(0, 1, 11, false);
+        s.observe(0, 2, 22, false);
+        s.observe(0, 1, 99, true); // store re-reference; also makes tag 2 the LRU
+        match s.observe(0, 3, 33, false) {
+            SampleOutcome::Inserted { evicted: Some((sig, used, _)) } => {
+                assert_eq!(sig, 22, "LRU after the re-reference of tag 1");
+                assert!(!used);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Now evict tag 1: it was re-referenced by a store.
+        match s.observe(0, 4, 44, false) {
+            SampleOutcome::Inserted { evicted: Some((sig, used, written)) } => {
+                assert_eq!(sig, 11);
+                assert!(used);
+                assert!(written);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut s = Sampler::new(2, 1);
+        s.observe(0, 5, 1, false);
+        assert!(matches!(s.observe(1, 5, 2, false), SampleOutcome::Inserted { .. }));
+        assert!(matches!(s.observe(0, 5, 3, false), SampleOutcome::Hit { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_bounds_checked() {
+        let mut s = Sampler::new(2, 2);
+        let _ = s.observe(2, 0, 0, false);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests over the predictors: counters stay bounded, the
+//! classification is total, and training is deterministic.
+
+use proptest::prelude::*;
+
+use fuse_cache::line::LineAddr;
+use fuse_predict::class::ReadLevel;
+use fuse_predict::dead_write::{DeadWriteConfig, DeadWritePredictor};
+use fuse_predict::read_level::{AccuracyTracker, ReadLevelConfig, ReadLevelPredictor};
+
+proptest! {
+    #[test]
+    fn classification_is_total_under_arbitrary_streams(
+        accesses in prop::collection::vec((0u16..48, 0u32..4096, 0u64..512, any::<bool>()), 1..800),
+    ) {
+        let mut p = ReadLevelPredictor::new(ReadLevelConfig::default());
+        for &(warp, pc, line, store) in &accesses {
+            let sig = ReadLevelPredictor::pc_signature(pc);
+            p.observe(warp, sig, LineAddr(line), store);
+            // classify never panics and always returns one of the four
+            // levels, for any signature.
+            let class = p.classify(sig);
+            prop_assert!(matches!(
+                class,
+                ReadLevel::Wm | ReadLevel::Worm | ReadLevel::Woro | ReadLevel::Neutral
+            ));
+        }
+        let (observed, sampled) = p.sample_counts();
+        prop_assert_eq!(observed as usize, accesses.len());
+        prop_assert!(sampled <= observed);
+    }
+
+    #[test]
+    fn training_is_deterministic(
+        accesses in prop::collection::vec((0u16..48, 0u32..1024, 0u64..256, any::<bool>()), 1..400),
+    ) {
+        let run = || {
+            let mut p = ReadLevelPredictor::new(ReadLevelConfig::default());
+            for &(warp, pc, line, store) in &accesses {
+                p.observe(warp, ReadLevelPredictor::pc_signature(pc), LineAddr(line), store);
+            }
+            (0u16..64).map(|sig| p.classify(sig)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dead_write_predictions_are_stable_and_bounded(
+        accesses in prop::collection::vec((0u16..48, 0u32..1024, 0u64..100_000, any::<bool>()), 1..600),
+    ) {
+        let mut d = DeadWritePredictor::new(DeadWriteConfig::default());
+        for &(warp, pc, line, store) in &accesses {
+            let sig = ReadLevelPredictor::pc_signature(pc);
+            d.observe(warp, sig, LineAddr(line), store);
+            let _ = d.predict_dead(sig); // never panics
+        }
+    }
+
+    #[test]
+    fn accuracy_tracker_totals_are_conserved(
+        grades in prop::collection::vec((0u32..4, 0u32..10), 0..200),
+    ) {
+        let mut t = AccuracyTracker::default();
+        for &(class_code, writes) in &grades {
+            t.record(ReadLevel::decode(class_code), writes);
+        }
+        prop_assert_eq!(t.total() as usize, grades.len());
+        prop_assert!(t.accuracy() >= 0.0 && t.accuracy() <= 1.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Deterministic warp-trace generator.
+//!
+//! Each warp's stream is produced lazily from a [`WorkloadSpec`] and a
+//! per-(workload, SM, warp) seed. Four behaviour engines implement the
+//! Fig. 6 read-level classes; the static PC of every memory instruction
+//! identifies its class (with several PC variants per class), so the
+//! PC-signature predictors see exactly the correlation the paper exploits.
+//!
+//! Address-space layout (line numbers):
+//!
+//! * `0x100_0000 + workload ofs` — shared WORM region (all warps),
+//! * `0x200_0000 + ...` — shared read-intensive region,
+//! * `0x300_0000 + ...` — per-warp private WM regions,
+//! * `0x400_0000 + ...` — per-warp WORO streams (disjoint, unbounded).
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::WorkloadSpec;
+use fuse_cache::line::LINE_BYTES;
+use fuse_gpu::warp::{MemOp, WarpOp, WarpProgram};
+
+const WORM_BASE: u64 = 0x100_0000;
+const RI_BASE: u64 = 0x200_0000;
+const WM_BASE: u64 = 0x300_0000;
+const WORO_BASE: u64 = 0x400_0000;
+
+/// PCs per class, so signatures spread over several table entries.
+const PC_VARIANTS: u32 = 4;
+
+fn pc_for(class: usize, variant: u32) -> u32 {
+    0x400 + (class as u32 * PC_VARIANTS + variant) * 4
+}
+
+/// The generator state for one warp.
+pub struct GenProgram {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+    warp_uid: u64,
+    remaining: usize,
+    worm_cursor: u64,
+    woro_cursor: u64,
+    woro_deferred: VecDeque<u64>,
+    recent: [u64; 4],
+    recent_len: usize,
+    recent_next: usize,
+    burst_class: usize,
+    burst_left: u32,
+    recent_ri: [u64; 2],
+    recent_ri_len: usize,
+    last_scatter: Vec<u64>,
+}
+
+impl std::fmt::Debug for GenProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenProgram")
+            .field("workload", &self.spec.name)
+            .field("remaining", &self.remaining)
+            .finish_non_exhaustive()
+    }
+}
+
+fn seed_for(spec: &WorkloadSpec, sm: usize, warp: u16) -> u64 {
+    // FNV-style mix of the workload name and warp identity.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in spec.name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h = (h ^ (sm as u64 + 1)).wrapping_mul(0x1000_0000_01b3);
+    h = (h ^ (warp as u64 + 1)).wrapping_mul(0x1000_0000_01b3);
+    h
+}
+
+impl GenProgram {
+    /// Creates the stream of warp `warp` on SM `sm`, `ops` instructions
+    /// long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn new(spec: WorkloadSpec, sm: usize, warp: u16, ops: usize) -> Self {
+        spec.validate();
+        let warp_uid = (sm as u64) * 64 + warp as u64;
+        GenProgram {
+            rng: SmallRng::seed_from_u64(seed_for(&spec, sm, warp)),
+            warp_uid,
+            remaining: ops,
+            worm_cursor: (warp_uid * 37) % spec.worm_region_lines,
+            woro_cursor: 0,
+            woro_deferred: VecDeque::new(),
+            recent: [0; 4],
+            recent_len: 0,
+            recent_next: 0,
+            burst_class: 0,
+            burst_left: 0,
+            recent_ri: [0; 2],
+            recent_ri_len: 0,
+            last_scatter: Vec::new(),
+            spec,
+        }
+    }
+
+    fn remember(&mut self, line: u64) {
+        self.recent[self.recent_next] = line;
+        self.recent_next = (self.recent_next + 1) % self.recent.len();
+        self.recent_len = (self.recent_len + 1).min(self.recent.len());
+    }
+
+    fn coalesced(&self, pc: u32, is_store: bool, line: u64) -> MemOp {
+        MemOp::strided(pc, is_store, line * LINE_BYTES, 4, 32)
+    }
+
+    fn scattered(&mut self, pc: u32, is_store: bool, lines: &[u64]) -> MemOp {
+        let mut addrs = [0u64; 32];
+        for (i, addr) in addrs.iter_mut().enumerate() {
+            *addr = lines[i % lines.len()] * LINE_BYTES + (i as u64 % 4) * 32;
+        }
+        MemOp::scattered(pc, is_store, &addrs)
+    }
+
+    /// Write-once-read-multiple: sweep a large shared region. Short-term
+    /// re-reads (dot-product style) give the sampler its training signal;
+    /// the irregular share walks matrix columns at a power-of-two pitch,
+    /// piling lines into a few cache sets.
+    fn gen_worm(&mut self, variant: u32) -> MemOp {
+        let pc = pc_for(2, variant);
+        let region = self.spec.worm_region_lines;
+        if self.recent_len > 0 && self.rng.gen::<f64>() < self.spec.local_reuse {
+            let idx = self.rng.gen_range(0..self.recent_len);
+            let line = self.recent[idx];
+            return self.coalesced(pc, false, line);
+        }
+        if self.rng.gen::<f64>() < self.spec.irregularity {
+            // Column walk: `scatter_lines` rows of the same column pair.
+            // With probability `local_reuse` the warp re-walks the previous
+            // group (the dot-product loop re-reading its operand block);
+            // that is the short-term locality the request sampler observes.
+            let reuse_group = !self.last_scatter.is_empty()
+                && self.rng.gen::<f64>() < self.spec.local_reuse;
+            if reuse_group {
+                let lines = self.last_scatter.clone();
+                return self.scattered(pc, false, &lines);
+            }
+            let pitch = self.spec.pitch_lines;
+            let rows = (region / pitch).max(1);
+            let col = self.rng.gen_range(0..2u64);
+            let k = self.spec.scatter_lines;
+            let mut lines = Vec::with_capacity(k);
+            for _ in 0..k {
+                let row = self.rng.gen_range(0..rows);
+                lines.push(WORM_BASE + (row * pitch + col) % region);
+            }
+            let op = self.scattered(pc, false, &lines);
+            self.last_scatter = lines;
+            return op;
+        }
+        self.worm_cursor = (self.worm_cursor + 1) % region;
+        let line = WORM_BASE + self.worm_cursor;
+        self.remember(line);
+        self.coalesced(pc, false, line)
+    }
+
+    /// Read-intensive: a hot shared region, mostly loads, with the
+    /// short-term re-reads (lookup tables, stencil neighbourhoods) that a
+    /// request sampler can observe.
+    fn gen_read_intensive(&mut self, variant: u32) -> MemOp {
+        let pc = pc_for(1, variant);
+        let line = if self.recent_ri_len > 0 && self.rng.gen::<f64>() < 0.6 {
+            self.recent_ri[self.rng.gen_range(0..self.recent_ri_len)]
+        } else {
+            let l = RI_BASE + self.rng.gen_range(0..self.spec.ri_region_lines);
+            self.recent_ri[self.recent_ri_len % 2] = l;
+            self.recent_ri_len = (self.recent_ri_len + 1).min(2);
+            l
+        };
+        let is_store = self.rng.gen::<f64>() < 0.08;
+        self.coalesced(pc, is_store, line)
+    }
+
+    /// Write-multiple: repeated updates to a small private region.
+    fn gen_wm(&mut self, variant: u32) -> MemOp {
+        let pc = pc_for(0, variant);
+        let base = WM_BASE + self.warp_uid * self.spec.wm_region_lines;
+        let line = base + self.rng.gen_range(0..self.spec.wm_region_lines);
+        let is_store = self.rng.gen::<f64>() < 0.8;
+        self.coalesced(pc, is_store, line)
+    }
+
+    /// Write-once-read-once: every line is written once and read back
+    /// exactly once, but the read comes a long time later (a subsequent
+    /// kernel phase consuming the buffer) — adjacent write/read pairs
+    /// would look like reuse to any sampler, which is not what WORO means.
+    fn gen_woro(&mut self, variant: u32) -> MemOp {
+        let pc = pc_for(3, variant);
+        if self.woro_deferred.len() >= 48 || (!self.woro_deferred.is_empty() && self.rng.gen::<f64>() < 0.3) {
+            let line = self.woro_deferred.pop_front().expect("checked non-empty");
+            return self.coalesced(pc, false, line);
+        }
+        let line = WORO_BASE + self.warp_uid * 0x4_0000 + self.woro_cursor;
+        self.woro_cursor += 1;
+        self.woro_deferred.push_back(line);
+        self.coalesced(pc, true, line)
+    }
+
+    fn gen_mem(&mut self) -> MemOp {
+        // Kernels access memory in bursts (a loop body touches one array
+        // for a while before moving on), not one class per instruction.
+        // Bursts are what lets the paper's 8-way request sampler observe
+        // reuse before churn evicts its entries.
+        if self.burst_left == 0 {
+            let m = self.spec.mix;
+            let x = self.rng.gen::<f64>() * m.total();
+            self.burst_class = if x < m.wm {
+                0
+            } else if x < m.wm + m.read_intensive {
+                1
+            } else if x < m.wm + m.read_intensive + m.worm {
+                2
+            } else {
+                3
+            };
+            // Long phases: a loop body streams one array for a while.
+            self.burst_left = self.rng.gen_range(12..=32);
+        }
+        self.burst_left -= 1;
+        let variant = self.rng.gen_range(0..PC_VARIANTS);
+        match self.burst_class {
+            0 => self.gen_wm(variant),
+            1 => self.gen_read_intensive(variant),
+            2 => self.gen_worm(variant),
+            _ => self.gen_woro(variant),
+        }
+    }
+}
+
+impl WarpProgram for GenProgram {
+    fn next_op(&mut self) -> Option<WarpOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.rng.gen::<f64>() < self.spec.mem_fraction() {
+            Some(WarpOp::Mem(self.gen_mem()))
+        } else {
+            Some(WarpOp::Compute { cycles: 1 })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::by_name;
+    use fuse_cache::line::LineAddr;
+    use fuse_gpu::coalesce::coalesce;
+    use std::collections::HashMap;
+
+    fn drain(name: &str, sm: usize, warp: u16, ops: usize) -> Vec<WarpOp> {
+        let spec = by_name(name).unwrap();
+        let mut p = GenProgram::new(spec, sm, warp, ops);
+        let mut v = Vec::new();
+        while let Some(op) = p.next_op() {
+            v.push(op);
+        }
+        v
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(drain("ATAX", 3, 7, 500), drain("ATAX", 3, 7, 500));
+    }
+
+    #[test]
+    fn different_warps_differ() {
+        assert_ne!(drain("ATAX", 0, 0, 500), drain("ATAX", 0, 1, 500));
+    }
+
+    #[test]
+    fn op_count_respects_budget() {
+        assert_eq!(drain("GEMM", 0, 0, 321).len(), 321);
+    }
+
+    #[test]
+    fn memory_fraction_tracks_apki() {
+        let mem = |name: &str| {
+            let ops = drain(name, 0, 0, 20_000);
+            ops.iter().filter(|o| matches!(o, WarpOp::Mem(_))).count() as f64 / ops.len() as f64
+        };
+        let heavy = mem("GEMM"); // APKI 136
+        let light = mem("pathf"); // APKI 1.2
+        assert!(heavy > 0.5, "GEMM must be memory heavy, got {heavy}");
+        assert!(light < 0.08, "pathfinder must be compute bound, got {light}");
+    }
+
+    #[test]
+    fn irregular_workloads_scatter_and_conflict() {
+        // ATAX: most WORM accesses are column walks at a power-of-two
+        // pitch, so the touched lines concentrate in few 64-set indices.
+        let ops = drain("ATAX", 0, 0, 30_000);
+        let mut set_histogram: HashMap<u64, u64> = HashMap::new();
+        let mut lines_per_op = Vec::new();
+        for op in &ops {
+            if let WarpOp::Mem(m) = op {
+                let lines = coalesce(m);
+                lines_per_op.push(lines.len());
+                for l in lines {
+                    *set_histogram.entry(l.0 % 64).or_insert(0) += 1;
+                }
+            }
+        }
+        let avg: f64 =
+            lines_per_op.iter().sum::<usize>() as f64 / lines_per_op.len() as f64;
+        assert!(avg > 2.0, "irregular accesses must span many lines, avg {avg}");
+        // Conflict concentration: the top-4 sets absorb most accesses.
+        let mut counts: Vec<u64> = set_histogram.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let top4: u64 = counts.iter().take(4).sum();
+        assert!(
+            top4 as f64 > 0.5 * total as f64,
+            "scatter must be set-conflicting: top4 {top4} of {total}"
+        );
+    }
+
+    #[test]
+    fn regular_workloads_coalesce() {
+        let ops = drain("2DCONV", 0, 0, 30_000);
+        let mut n = 0usize;
+        let mut lines = 0usize;
+        for op in &ops {
+            if let WarpOp::Mem(m) = op {
+                n += 1;
+                lines += coalesce(m).len();
+            }
+        }
+        assert!(n > 0);
+        let avg = lines as f64 / n as f64;
+        assert!(avg < 1.2, "2DCONV must stay coalesced, avg lines {avg}");
+    }
+
+    #[test]
+    fn woro_lines_touched_exactly_twice() {
+        // pathf is WORO-heavy: collect per-line touch counts for its WORO
+        // address range — each line is written once and read once.
+        let ops = drain("pathf", 0, 0, 100_000);
+        let mut counts: HashMap<LineAddr, (u32, u32)> = HashMap::new();
+        for op in &ops {
+            if let WarpOp::Mem(m) = op {
+                for l in coalesce(m) {
+                    if l.0 >= super::WORO_BASE {
+                        let e = counts.entry(l).or_insert((0, 0));
+                        if m.is_store {
+                            e.0 += 1;
+                        } else {
+                            e.1 += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(!counts.is_empty(), "pathf must generate WORO traffic");
+        for (line, (w, r)) in &counts {
+            assert!(*w <= 1 && *r <= 1, "line {line:?} touched w={w} r={r}");
+        }
+    }
+
+    #[test]
+    fn wm_regions_are_write_heavy_and_private() {
+        let a = drain("PVC", 0, 0, 40_000);
+        let b = drain("PVC", 0, 1, 40_000);
+        let wm_lines = |ops: &[WarpOp]| {
+            let mut stores = 0u64;
+            let mut loads = 0u64;
+            let mut set = std::collections::HashSet::new();
+            for op in ops {
+                if let WarpOp::Mem(m) = op {
+                    for l in coalesce(m) {
+                        if (super::WM_BASE..super::WORO_BASE).contains(&l.0) {
+                            set.insert(l);
+                            if m.is_store {
+                                stores += 1;
+                            } else {
+                                loads += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            (set, stores, loads)
+        };
+        let (sa, stores, loads) = wm_lines(&a);
+        let (sb, _, _) = wm_lines(&b);
+        assert!(stores > loads, "WM traffic must be store-dominated");
+        assert!(sa.is_disjoint(&sb), "WM regions are per-warp private");
+    }
+}

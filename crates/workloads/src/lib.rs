@@ -1,0 +1,41 @@
+//! # fuse-workloads — the paper's 21 benchmarks as synthetic traces
+//!
+//! The FUSE paper evaluates CUDA workloads from PolyBench, Rodinia, Parboil
+//! and Mars (Table II). Real traces require a GPU + CUDA toolchain +
+//! GPGPU-Sim; this crate substitutes deterministic synthetic generators,
+//! one per workload, calibrated against everything the paper publishes
+//! about each one:
+//!
+//! * **APKI** (Table II) → the fraction of warp instructions that access
+//!   memory;
+//! * **read-level mix** (Fig. 6) → how accesses split across
+//!   write-multiple / read-intensive / WORM / WORO behaviours;
+//! * **regularity** (§V discussion per workload) → coalesced strided
+//!   streams vs power-of-two-pitch scatters (matrix-column walks), the
+//!   pattern that produces GPU cache-set conflicts;
+//! * **By-NVM bypass ratio** (Table II) → kept as the published reference
+//!   value for the Table II regeneration bench.
+//!
+//! Every generator is a pure function of (workload, SM, warp) — identical
+//! seeds give identical traces, so every figure is reproducible bit for
+//! bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use fuse_workloads::suites::{all_workloads, by_name};
+//! use fuse_gpu::warp::WarpProgram;
+//!
+//! assert_eq!(all_workloads().len(), 21);
+//! let atax = by_name("ATAX").unwrap();
+//! let mut program = atax.program(0, 0, 100);
+//! assert!(program.next_op().is_some());
+//! ```
+
+pub mod gen;
+pub mod spec;
+pub mod suites;
+
+pub use gen::GenProgram;
+pub use spec::{ClassMix, Suite, WorkloadSpec};
+pub use suites::{all_workloads, by_name, fig18_workloads, fig3_workloads};

@@ -1,0 +1,173 @@
+//! Workload specifications: the calibration knobs for each benchmark.
+
+/// Benchmark suite of origin (Table II's citations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// PolyBench/GPU — polyhedral kernels.
+    PolyBench,
+    /// Rodinia — bioinformatics, data mining, classical algorithms.
+    Rodinia,
+    /// Parboil — scientific and commercial throughput kernels.
+    Parboil,
+    /// Mars — MapReduce on GPU.
+    Mars,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::PolyBench => f.write_str("Polyb."),
+            Suite::Rodinia => f.write_str("Rodinia"),
+            Suite::Parboil => f.write_str("Parboil"),
+            Suite::Mars => f.write_str("Mars"),
+        }
+    }
+}
+
+/// How a workload's memory accesses split across the four read-level
+/// behaviours of Fig. 6. Weights need not be normalised; the generator
+/// normalises them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMix {
+    /// Write-multiple: repeated updates to a private hot region.
+    pub wm: f64,
+    /// Read-intensive: a small shared region read over and over.
+    pub read_intensive: f64,
+    /// Write-once-read-multiple: a large shared region swept repeatedly.
+    pub worm: f64,
+    /// Write-once-read-once: pure streaming, never re-referenced.
+    pub woro: f64,
+}
+
+impl ClassMix {
+    /// Sum of the weights.
+    pub fn total(&self) -> f64 {
+        self.wm + self.read_intensive + self.worm + self.woro
+    }
+}
+
+/// A fully calibrated synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Paper name (Table II).
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// Accesses per kilo-instruction (Table II); drives the memory
+    /// instruction fraction `apki / 1000`.
+    pub apki: f64,
+    /// By-NVM bypass ratio published in Table II (reference value only).
+    pub paper_bypass_ratio: f64,
+    /// Read-level behaviour weights (Fig. 6 calibration).
+    pub mix: ClassMix,
+    /// Probability that a WORM access is a power-of-two-pitch scatter
+    /// (set-conflicting matrix-column walk) instead of a coalesced stride.
+    pub irregularity: f64,
+    /// Pitch, in lines, of the scattered matrix walks (power of two so
+    /// scattered lines collide in a handful of cache sets).
+    pub pitch_lines: u64,
+    /// Shared WORM region size in lines (working set >> L1 for the
+    /// thrashing workloads).
+    pub worm_region_lines: u64,
+    /// Shared read-intensive region size in lines (small and hot).
+    pub ri_region_lines: u64,
+    /// Per-warp private write-multiple region size in lines.
+    pub wm_region_lines: u64,
+    /// Probability a WORM load re-references one of the warp's recent
+    /// lines (short-term locality the sampler can observe).
+    pub local_reuse: f64,
+    /// Distinct scattered lines touched by one irregular warp instruction
+    /// (32 lanes over k lines; real column walks are quarter-coalesced).
+    pub scatter_lines: usize,
+    /// Default instruction budget per warp (scaled by the harness).
+    pub ops_per_warp: usize,
+}
+
+impl WorkloadSpec {
+    /// Fraction of warp instructions that are memory instructions.
+    ///
+    /// Table II's APKI counts accesses per kilo *thread* instructions
+    /// (GPGPU-Sim's convention); one warp instruction is 32 thread
+    /// instructions, hence the x32. Clamped to a simulable range.
+    pub fn mem_fraction(&self) -> f64 {
+        (self.apki * 32.0 / 1000.0).clamp(0.01, 0.85)
+    }
+
+    /// Builds the deterministic instruction stream of warp `warp` on SM
+    /// `sm` with `ops` warp instructions.
+    pub fn program(&self, sm: usize, warp: u16, ops: usize) -> Box<dyn fuse_gpu::warp::WarpProgram> {
+        Box::new(crate::gen::GenProgram::new(*self, sm, warp, ops))
+    }
+
+    /// Validates the calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive mix weights, zero regions, a non-power-of-two
+    /// pitch, or probabilities outside [0, 1].
+    pub fn validate(&self) {
+        assert!(self.mix.total() > 0.0, "{}: mix must have weight", self.name);
+        assert!(
+            self.mix.wm >= 0.0
+                && self.mix.read_intensive >= 0.0
+                && self.mix.worm >= 0.0
+                && self.mix.woro >= 0.0,
+            "{}: negative mix weight",
+            self.name
+        );
+        assert!(self.pitch_lines.is_power_of_two(), "{}: pitch must be a power of two", self.name);
+        assert!(
+            self.worm_region_lines > 0 && self.ri_region_lines > 0 && self.wm_region_lines > 0,
+            "{}: regions must be non-empty",
+            self.name
+        );
+        assert!((0.0..=1.0).contains(&self.irregularity), "{}: bad irregularity", self.name);
+        assert!((0.0..=1.0).contains(&self.local_reuse), "{}: bad local_reuse", self.name);
+        assert!(
+            (1..=32).contains(&self.scatter_lines),
+            "{}: scatter_lines must be 1..=32",
+            self.name
+        );
+        assert!(self.ops_per_warp > 0, "{}: empty program", self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        crate::suites::by_name("ATAX").unwrap()
+    }
+
+    #[test]
+    fn mem_fraction_tracks_apki() {
+        let s = spec();
+        assert!((s.mem_fraction() - 0.85).abs() < 1e-9, "APKI 64 saturates the clamp");
+        let gauss = crate::suites::by_name("gaussian").unwrap();
+        assert!((gauss.mem_fraction() - 0.272).abs() < 1e-9, "APKI 8.5 -> 27.2%");
+    }
+
+    #[test]
+    fn mem_fraction_is_clamped() {
+        let mut s = spec();
+        s.apki = 2000.0;
+        assert_eq!(s.mem_fraction(), 0.85);
+        s.apki = 0.1;
+        assert_eq!(s.mem_fraction(), 0.01);
+    }
+
+    #[test]
+    fn mix_total() {
+        let m = ClassMix { wm: 1.0, read_intensive: 2.0, worm: 3.0, woro: 4.0 };
+        assert_eq!(m.total(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch must be a power of two")]
+    fn bad_pitch_rejected() {
+        let mut s = spec();
+        s.pitch_lines = 100;
+        s.validate();
+    }
+}

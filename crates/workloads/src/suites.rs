@@ -1,0 +1,184 @@
+//! The 21 paper workloads (Table II) with per-workload calibration.
+//!
+//! APKI and By-NVM bypass ratios are transcribed from Table II; the
+//! read-level mixes follow Fig. 6's per-workload decomposition; the
+//! regularity split follows the paper's own grouping ("irregular
+//! workloads: 2MM, 3MM, ATAX, BICG, GEMM, GESUM, II, MVT, PVC, SS, SM,
+//! SYR2K" — §V-A) with pitch-conflict scatters for the matrix-column
+//! kernels. Region sizes put the thrashing workloads' working sets well
+//! beyond the 32 KB-budget L1Ds, as Fig. 3 requires.
+
+use crate::spec::{ClassMix, Suite, WorkloadSpec};
+
+fn spec(
+    name: &'static str,
+    suite: Suite,
+    apki: f64,
+    bypass: f64,
+    mix: (f64, f64, f64, f64),
+    irregularity: f64,
+    worm_region_lines: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        suite,
+        apki,
+        paper_bypass_ratio: bypass,
+        mix: ClassMix { wm: mix.0, read_intensive: mix.1, worm: mix.2, woro: mix.3 },
+        irregularity,
+        pitch_lines: 64,
+        worm_region_lines,
+        ri_region_lines: 48,
+        wm_region_lines: 16,
+        local_reuse: 0.55,
+        scatter_lines: 8,
+        ops_per_warp: 400,
+    }
+}
+
+/// All 21 workloads in the paper's presentation order.
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    use Suite::*;
+    vec![
+        spec("2DCONV", PolyBench, 9.0, 0.26, (0.05, 0.25, 0.62, 0.08), 0.0, 1536),
+        spec("2MM", PolyBench, 10.0, 0.60, (0.45, 0.08, 0.39, 0.08), 0.55, 3072),
+        spec("3MM", PolyBench, 10.0, 0.49, (0.45, 0.08, 0.41, 0.06), 0.55, 3072),
+        spec("ATAX", PolyBench, 64.0, 0.90, (0.02, 0.04, 0.88, 0.06), 0.85, 4096),
+        spec("BICG", PolyBench, 64.0, 0.90, (0.02, 0.04, 0.88, 0.06), 0.85, 4096),
+        spec("cfd", Rodinia, 4.5, 0.81, (0.06, 0.10, 0.54, 0.30), 0.45, 1024),
+        spec("FDTD", PolyBench, 18.0, 0.27, (0.15, 0.20, 0.58, 0.07), 0.15, 1536),
+        spec("gaussian", Rodinia, 8.5, 0.36, (0.08, 0.30, 0.56, 0.06), 0.10, 1024),
+        spec("GEMM", PolyBench, 136.0, 0.61, (0.10, 0.10, 0.60, 0.20), 0.70, 3072),
+        spec("GESUM", PolyBench, 12.0, 0.96, (0.02, 0.03, 0.73, 0.22), 0.80, 4096),
+        spec("II", Mars, 77.0, 0.54, (0.28, 0.10, 0.42, 0.20), 0.60, 2048),
+        spec("MVT", PolyBench, 64.0, 0.91, (0.02, 0.04, 0.88, 0.06), 0.85, 4096),
+        spec("PVC", Mars, 37.0, 0.18, (0.42, 0.18, 0.35, 0.05), 0.50, 1536),
+        spec("PVR", Mars, 14.0, 0.33, (0.35, 0.20, 0.40, 0.05), 0.50, 1536),
+        spec("pathf", Rodinia, 1.2, 0.92, (0.05, 0.10, 0.35, 0.50), 0.0, 768),
+        spec("SS", Mars, 30.0, 0.80, (0.35, 0.05, 0.30, 0.30), 0.60, 2048),
+        spec("srad_v1", Rodinia, 3.5, 0.38, (0.15, 0.30, 0.50, 0.05), 0.10, 1024),
+        spec("SM", Mars, 140.0, 0.02, (0.08, 0.45, 0.45, 0.02), 0.40, 1536),
+        spec("SYR2K", PolyBench, 108.0, 0.02, (0.15, 0.35, 0.48, 0.02), 0.50, 2048),
+        spec("mri-g", Parboil, 3.3, 0.13, (0.20, 0.40, 0.35, 0.05), 0.10, 1024),
+        spec("histo", Parboil, 9.6, 0.63, (0.35, 0.10, 0.25, 0.30), 0.70, 1536),
+    ]
+    .into_iter()
+    .map(|mut w| {
+        // 2MM/3MM write tiles exceed what the 8-way sampler can track, so
+        // even reused writes *look* dead — the paper's >80% By-NVM bypass
+        // on these two (§V-A) and their lowest Fig. 16 accuracy.
+        if w.name == "2MM" || w.name == "3MM" {
+            w.wm_region_lines = 48;
+        }
+        w
+    })
+    .collect()
+}
+
+/// Looks a workload up by its paper name (case-sensitive).
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+/// The seven memory-intensive workloads of the Fig. 3 motivation study.
+pub fn fig3_workloads() -> Vec<WorkloadSpec> {
+    ["3MM", "ATAX", "BICG", "gaussian", "GESUM", "II", "SYR2K"]
+        .iter()
+        .map(|n| by_name(n).expect("known workload"))
+        .collect()
+}
+
+/// The nine workloads of the Fig. 18 SRAM:STT ratio sweep.
+pub fn fig18_workloads() -> Vec<WorkloadSpec> {
+    ["2DCONV", "2MM", "3MM", "ATAX", "BICG", "FDTD", "GEMM", "GESUM", "SYR2K"]
+        .iter()
+        .map(|n| by_name(n).expect("known workload"))
+        .collect()
+}
+
+/// The nine workloads of the Fig. 20 CBF false-positive sweep.
+pub fn fig20_workloads() -> Vec<WorkloadSpec> {
+    ["2DCONV", "2MM", "3MM", "ATAX", "BICG", "cfd", "FDTD", "gaussian", "GEMM"]
+        .iter()
+        .map(|n| by_name(n).expect("known workload"))
+        .collect()
+}
+
+/// Workloads grouped by suite (Fig. 7b's x-axis).
+pub fn by_suite(suite: Suite) -> Vec<WorkloadSpec> {
+    all_workloads().into_iter().filter(|w| w.suite == suite).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_workloads_all_valid() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 21);
+        for w in &all {
+            w.validate();
+        }
+        // Unique names.
+        let mut names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn table2_apki_transcription() {
+        assert_eq!(by_name("ATAX").unwrap().apki, 64.0);
+        assert_eq!(by_name("GEMM").unwrap().apki, 136.0);
+        assert_eq!(by_name("pathf").unwrap().apki, 1.2);
+        assert_eq!(by_name("SM").unwrap().apki, 140.0);
+        assert_eq!(by_name("SYR2K").unwrap().paper_bypass_ratio, 0.02);
+        assert_eq!(by_name("GESUM").unwrap().paper_bypass_ratio, 0.96);
+    }
+
+    #[test]
+    fn paper_irregular_group_is_irregular() {
+        for n in ["2MM", "3MM", "ATAX", "BICG", "GEMM", "GESUM", "II", "MVT", "PVC", "SS", "SM", "SYR2K"] {
+            assert!(
+                by_name(n).unwrap().irregularity >= 0.4,
+                "{n} should be irregular"
+            );
+        }
+        for n in ["2DCONV", "gaussian", "pathf", "srad_v1", "mri-g"] {
+            assert!(by_name(n).unwrap().irregularity <= 0.15, "{n} should be regular");
+        }
+    }
+
+    #[test]
+    fn write_heavy_workloads_have_wm_weight() {
+        // The paper singles out 2MM/3MM (>40% writes) and PVC/PVR/SS (many
+        // WM blocks).
+        for n in ["2MM", "3MM", "PVC", "SS"] {
+            let w = by_name(n).unwrap();
+            assert!(w.mix.wm >= 0.3, "{n} must be WM-heavy");
+        }
+        assert!(by_name("ATAX").unwrap().mix.worm > 0.8);
+    }
+
+    #[test]
+    fn subsets_resolve() {
+        assert_eq!(fig3_workloads().len(), 7);
+        assert_eq!(fig18_workloads().len(), 9);
+        assert_eq!(fig20_workloads().len(), 9);
+        assert!(!by_suite(Suite::Mars).is_empty());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn thrashing_working_sets_exceed_l1_capacity() {
+        // Fig. 3 requires the motivation workloads to thrash a 256-line L1.
+        for w in fig3_workloads() {
+            assert!(
+                w.worm_region_lines > 512,
+                "{} working set too small to thrash",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: compare the FUSE L1D configurations on one irregular and
+//! one write-heavy workload, printing IPC, L1D miss rate and outgoing
+//! memory references — the paper's three headline metrics.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use fuse::core::config::L1Preset;
+use fuse::runner::{run_workload, RunConfig};
+use fuse::workloads::by_name;
+
+fn main() {
+    let rc = RunConfig::standard();
+    for name in ["ATAX", "2MM"] {
+        let spec = by_name(name).expect("known workload");
+        println!("== {name} ==");
+        println!(
+            "{:<10} {:>8} {:>8} {:>10} {:>10} {:>10}",
+            "config", "IPC", "miss", "outgoing", "cycles", "L1 nJ"
+        );
+        let mut base_ipc = None;
+        for preset in [
+            L1Preset::L1Sram,
+            L1Preset::FaSram,
+            L1Preset::SttOnly,
+            L1Preset::ByNvm,
+            L1Preset::Hybrid,
+            L1Preset::BaseFuse,
+            L1Preset::FaFuse,
+            L1Preset::DyFuse,
+            L1Preset::Oracle,
+        ] {
+            let r = run_workload(&spec, preset, &rc);
+            let ipc = r.ipc();
+            let base = *base_ipc.get_or_insert(ipc);
+            println!(
+                "{:<10} {:>8.3} {:>8.3} {:>10} {:>10} {:>10.0}  ({:.2}x)",
+                preset.name(),
+                ipc,
+                r.miss_rate(),
+                r.outgoing_requests(),
+                r.sim.cycles,
+                r.l1_energy_nj(),
+                ipc / base
+            );
+        }
+    }
+}

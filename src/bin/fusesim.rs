@@ -1,0 +1,265 @@
+//! `fusesim` — command-line driver for the FUSE reproduction.
+//!
+//! Runs any (workload, L1 configuration) pair on either machine preset and
+//! prints the full metric set, without writing a line of Rust:
+//!
+//! ```console
+//! $ fusesim run --workload ATAX --config Dy-FUSE
+//! $ fusesim run --workload GEMM --config L1-SRAM --volta --scale 2
+//! $ fusesim compare --workload BICG
+//! $ fusesim list
+//! ```
+
+use std::process::ExitCode;
+
+use fuse::core::config::L1Preset;
+use fuse::runner::{run_workload, RunConfig, RunResult};
+use fuse::workloads::{all_workloads, by_name};
+
+const USAGE: &str = "\
+fusesim — FUSE (HPCA 2019) reproduction driver
+
+USAGE:
+    fusesim list                         list workloads and L1 configurations
+    fusesim run [OPTIONS]                run one (workload, config) pair
+    fusesim compare [OPTIONS]            run every L1 configuration on one workload
+
+OPTIONS:
+    --workload <NAME>    workload name from Table II (default: ATAX)
+    --config <NAME>      L1 configuration (default: Dy-FUSE)
+    --volta              use the Fig. 19 Volta-class machine
+    --scale <F>          instruction-budget multiplier (default 1.0)
+    --quiet              print only the one-line summary
+";
+
+#[derive(Debug)]
+struct Args {
+    command: String,
+    workload: String,
+    config: String,
+    volta: bool,
+    scale: f64,
+    quiet: bool,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let command = argv.next().unwrap_or_else(|| "help".to_string());
+    let mut args = Args {
+        command,
+        workload: "ATAX".to_string(),
+        config: "Dy-FUSE".to_string(),
+        volta: false,
+        scale: 1.0,
+        quiet: false,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--workload" => {
+                args.workload = argv.next().ok_or("--workload needs a value")?;
+            }
+            "--config" => {
+                args.config = argv.next().ok_or("--config needs a value")?;
+            }
+            "--volta" => args.volta = true,
+            "--quiet" => args.quiet = true,
+            "--scale" => {
+                let v = argv.next().ok_or("--scale needs a value")?;
+                args.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+                if args.scale <= 0.0 {
+                    return Err("scale must be positive".to_string());
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn preset_by_name(name: &str) -> Option<L1Preset> {
+    L1Preset::ALL.into_iter().find(|p| p.name().eq_ignore_ascii_case(name))
+}
+
+fn run_config(args: &Args) -> RunConfig {
+    let mut rc = if args.volta { RunConfig::volta() } else { RunConfig::standard() };
+    rc.ops_scale *= args.scale;
+    rc
+}
+
+fn print_result(r: &RunResult, quiet: bool) {
+    println!(
+        "{} / {}: IPC {:.4}  miss {:.3}  outgoing {}  cycles {}  L1 energy {:.0} nJ",
+        r.workload,
+        r.config,
+        r.ipc(),
+        r.miss_rate(),
+        r.outgoing_requests(),
+        r.sim.cycles,
+        r.l1_energy_nj()
+    );
+    if quiet {
+        return;
+    }
+    let s = &r.sim;
+    println!("  instructions {}   APKI {:.1}", s.instructions, s.apki());
+    println!(
+        "  L1: hits {}  misses {}  merges {}  bypasses {}  writebacks {}",
+        s.l1.hits, s.l1.misses, s.l1.mshr_merges, s.l1.bypasses, s.l1.writebacks
+    );
+    println!(
+        "  L2: hits {}  misses {}   DRAM: accesses {}  row hits {}",
+        s.l2.hits, s.l2.misses, s.dram_accesses, s.dram_row_hits
+    );
+    println!(
+        "  off-chip read residency: net {:.0} cyc, L2+DRAM {:.0} cyc ({} reads)",
+        s.avg_net_cycles(),
+        s.avg_mem_cycles(),
+        s.completed_reads
+    );
+    let m = &r.metrics;
+    if m.tag_searches > 0 || m.migrations_to_stt > 0 || m.accuracy.total() > 0 {
+        println!(
+            "  FUSE: migrations SRAM->STT {}  STT->SRAM {}  WORO evictions {}  bypassed {}+{}",
+            m.migrations_to_stt,
+            m.migrations_to_sram,
+            m.woro_evictions,
+            m.bypassed_loads,
+            m.bypassed_stores
+        );
+        println!(
+            "  stalls: STT-busy {}  tag-queue-full {}  flushes {}  avg tag search {:.2} cyc",
+            m.stt_busy_rejections,
+            m.tag_queue_full_rejections,
+            m.tq_flushes,
+            m.avg_tag_search_cycles()
+        );
+        if m.accuracy.total() > 0 {
+            println!(
+                "  predictor: {} true / {} false / {} neutral over {} graded evictions",
+                m.accuracy.trues, m.accuracy.falses, m.accuracy.neutrals, m.accuracy.total()
+            );
+        }
+    }
+    let e = &r.energy;
+    println!(
+        "  energy: total {:.0} nJ (L1 {:.0}, L2 {:.0}, net {:.0}, DRAM {:.0}, compute {:.0})",
+        e.total_nj(),
+        e.l1_nj(),
+        e.l2_nj,
+        e.network_nj,
+        e.dram_nj,
+        e.compute_nj
+    );
+}
+
+fn cmd_list() {
+    println!("workloads (Table II):");
+    for w in all_workloads() {
+        println!(
+            "  {:<8} {:<8} APKI {:>5.1}  paper bypass {:>4.2}  irregularity {:.2}",
+            w.name, w.suite.to_string(), w.apki, w.paper_bypass_ratio, w.irregularity
+        );
+    }
+    println!("\nL1 configurations (Table I):");
+    for p in L1Preset::ALL {
+        println!("  {}", p.name());
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let spec = by_name(&args.workload)
+        .ok_or_else(|| format!("unknown workload {:?} (try `fusesim list`)", args.workload))?;
+    let preset = preset_by_name(&args.config)
+        .ok_or_else(|| format!("unknown config {:?} (try `fusesim list`)", args.config))?;
+    let r = run_workload(&spec, preset, &run_config(args));
+    print_result(&r, args.quiet);
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let spec = by_name(&args.workload)
+        .ok_or_else(|| format!("unknown workload {:?} (try `fusesim list`)", args.workload))?;
+    let rc = run_config(args);
+    let mut base = None;
+    println!(
+        "{:<10} {:>9} {:>8} {:>11} {:>10} {:>9}",
+        "config", "IPC", "miss", "outgoing", "L1 nJ", "vs base"
+    );
+    for preset in L1Preset::ALL {
+        let r = run_workload(&spec, preset, &rc);
+        let b = *base.get_or_insert(r.ipc());
+        println!(
+            "{:<10} {:>9.4} {:>8.3} {:>11} {:>10.0} {:>8.2}x",
+            preset.name(),
+            r.ipc(),
+            r.miss_rate(),
+            r.outgoing_requests(),
+            r.l1_energy_nj(),
+            r.ipc() / b
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        _ => {
+            println!("{USAGE}");
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Result<Args, String> {
+        parse_args(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_run_flags() {
+        let a = args(&["run", "--workload", "GEMM", "--config", "By-NVM", "--volta", "--scale", "2"])
+            .unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.workload, "GEMM");
+        assert_eq!(a.config, "By-NVM");
+        assert!(a.volta);
+        assert_eq!(a.scale, 2.0);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_scale() {
+        assert!(args(&["run", "--bogus"]).is_err());
+        assert!(args(&["run", "--scale", "0"]).is_err());
+        assert!(args(&["run", "--scale", "x"]).is_err());
+        assert!(args(&["run", "--workload"]).is_err());
+    }
+
+    #[test]
+    fn preset_lookup_is_case_insensitive() {
+        assert_eq!(preset_by_name("dy-fuse"), Some(L1Preset::DyFuse));
+        assert_eq!(preset_by_name("L1-SRAM"), Some(L1Preset::L1Sram));
+        assert_eq!(preset_by_name("nope"), None);
+    }
+}

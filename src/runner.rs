@@ -1,0 +1,221 @@
+//! Experiment runner: one (workload, L1 configuration) → one result.
+//!
+//! Every figure and table bench, every example and most integration tests
+//! funnel through [`run_workload`] / [`run_l1_config`], so all numbers in
+//! EXPERIMENTS.md come from the same code path.
+
+use fuse_core::config::{L1Config, L1Preset};
+use fuse_core::controller::FuseL1;
+use fuse_core::metrics::L1Metrics;
+use fuse_gpu::config::GpuConfig;
+use fuse_gpu::stats::SimStats;
+use fuse_gpu::system::GpuSystem;
+use fuse_mem::energy::{EnergyBreakdown, EnergyParams};
+use fuse_mem::tech::BankParams;
+use fuse_workloads::spec::WorkloadSpec;
+
+/// Simulation budget and machine selection for one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The machine to simulate.
+    pub gpu: GpuConfig,
+    /// Warp-instruction budget per warp (multiplies the workload default;
+    /// scaled further by the `FUSE_SCALE` environment variable, so a
+    /// longer, closer-to-paper run is one env var away).
+    pub ops_scale: f64,
+    /// Hard cycle cap (safety net; runs normally finish by retiring).
+    pub max_cycles: u64,
+}
+
+impl RunConfig {
+    /// The paper's GTX480-class machine with the default budget.
+    pub fn standard() -> Self {
+        RunConfig { gpu: GpuConfig::gtx480(), ops_scale: env_scale(), max_cycles: 20_000_000 }
+    }
+
+    /// The Fig. 19 Volta-class machine.
+    pub fn volta() -> Self {
+        RunConfig { gpu: GpuConfig::volta(), ops_scale: env_scale() * 0.25, max_cycles: 20_000_000 }
+    }
+
+    /// A deliberately tiny budget for doctests and smoke tests.
+    pub fn smoke() -> Self {
+        RunConfig {
+            gpu: GpuConfig { num_sms: 2, warps_per_sm: 8, ..GpuConfig::gtx480() },
+            ops_scale: 0.25,
+            max_cycles: 2_000_000,
+        }
+    }
+
+    fn ops_for(&self, spec: &WorkloadSpec) -> usize {
+        ((spec.ops_per_warp as f64 * self.ops_scale).round() as usize).max(8)
+    }
+}
+
+fn env_scale() -> f64 {
+    std::env::var("FUSE_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration name (preset or custom).
+    pub config: String,
+    /// Engine statistics.
+    pub sim: SimStats,
+    /// FUSE controller metrics summed over SMs (zeroed for Oracle).
+    pub metrics: L1Metrics,
+    /// Evaluated energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunResult {
+    /// Whole-GPU IPC.
+    pub fn ipc(&self) -> f64 {
+        self.sim.ipc()
+    }
+
+    /// L1D miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        self.sim.l1_miss_rate()
+    }
+
+    /// L1D energy in nJ (Fig. 17's quantity).
+    pub fn l1_energy_nj(&self) -> f64 {
+        self.energy.l1_nj()
+    }
+
+    /// Outgoing memory references (the paper's headline 32% reduction).
+    pub fn outgoing_requests(&self) -> u64 {
+        self.sim.outgoing_requests
+    }
+}
+
+fn collect(
+    workload: &str,
+    config_name: &str,
+    sys: &GpuSystem,
+    sim: SimStats,
+    banks: (Option<BankParams>, Option<BankParams>),
+) -> RunResult {
+    let mut metrics = L1Metrics::default();
+    for s in 0..sys.config().num_sms {
+        if let Some(l1) = sys.l1(s).as_any().downcast_ref::<FuseL1>() {
+            metrics.merge(&l1.metrics());
+        }
+    }
+    let params = EnergyParams {
+        sram: banks.0,
+        stt: banks.1,
+        num_sms: sys.config().num_sms as u32,
+        dram_channels: sys.config().dram_channels as u32,
+        clock_ghz: sys.config().clock_ghz,
+        ..EnergyParams::default()
+    };
+    let energy = params.evaluate(&sim.energy, sim.cycles);
+    RunResult {
+        workload: workload.to_string(),
+        config: config_name.to_string(),
+        sim,
+        metrics,
+        energy,
+    }
+}
+
+/// Runs `spec` on one of the paper's named L1D presets.
+///
+/// # Examples
+///
+/// ```
+/// use fuse::runner::{run_workload, RunConfig};
+/// use fuse::core::config::L1Preset;
+/// let w = fuse::workloads::by_name("pathf").unwrap();
+/// let r = run_workload(&w, L1Preset::L1Sram, &RunConfig::smoke());
+/// assert!(r.sim.instructions > 0);
+/// ```
+pub fn run_workload(spec: &WorkloadSpec, preset: L1Preset, rc: &RunConfig) -> RunResult {
+    let ops = rc.ops_for(spec);
+    let mut sys = GpuSystem::new(
+        rc.gpu.clone(),
+        |_| preset.build_model(),
+        |sm, warp| spec.program(sm, warp, ops),
+    );
+    let sim = sys.run(rc.max_cycles);
+    collect(spec.name, preset.name(), &sys, sim, preset.energy_banks())
+}
+
+/// Runs `spec` on an arbitrary [`L1Config`] (the Fig. 18 ratio sweep and
+/// ablations use this).
+pub fn run_l1_config(
+    spec: &WorkloadSpec,
+    cfg: &L1Config,
+    config_name: &str,
+    rc: &RunConfig,
+) -> RunResult {
+    let ops = rc.ops_for(spec);
+    let banks = (cfg.sram.map(|s| s.params), cfg.stt.map(|s| s.params));
+    let mut sys = GpuSystem::new(
+        rc.gpu.clone(),
+        |_| Box::new(FuseL1::new(cfg.clone())),
+        |sm, warp| spec.program(sm, warp, ops),
+    );
+    let sim = sys.run(rc.max_cycles);
+    collect(spec.name, config_name, &sys, sim, banks)
+}
+
+/// Geometric mean (the paper's GMEANS column). Ignores non-positive
+/// entries; returns 0 for an empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().filter(|x| **x > 0.0).map(|x| x.ln()).collect();
+    if logs.is_empty() {
+        0.0
+    } else {
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_workloads::by_name;
+
+    #[test]
+    fn geomean_math() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0, 0.0, -1.0]) - 5.0).abs() < 1e-12, "non-positive ignored");
+    }
+
+    #[test]
+    fn smoke_run_produces_consistent_result() {
+        let w = by_name("gaussian").unwrap();
+        let r = run_workload(&w, L1Preset::L1Sram, &RunConfig::smoke());
+        assert_eq!(r.workload, "gaussian");
+        assert_eq!(r.config, "L1-SRAM");
+        assert!(r.sim.instructions > 0);
+        assert!(r.ipc() > 0.0);
+        assert!(r.energy.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = by_name("2MM").unwrap();
+        let rc = RunConfig::smoke();
+        let a = run_workload(&w, L1Preset::DyFuse, &rc);
+        let b = run_workload(&w, L1Preset::DyFuse, &rc);
+        assert_eq!(a.sim, b.sim);
+    }
+
+    #[test]
+    fn fuse_metrics_are_collected() {
+        let w = by_name("ATAX").unwrap();
+        let r = run_workload(&w, L1Preset::FaFuse, &RunConfig::smoke());
+        assert!(r.metrics.tag_searches > 0, "approximate probes must be counted");
+    }
+}

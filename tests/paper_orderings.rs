@@ -1,0 +1,135 @@
+//! The qualitative results the paper's figures rest on, checked end to
+//! end at a reduced budget. These are the *shape* assertions of
+//! EXPERIMENTS.md: who wins, not by exactly how much.
+
+use fuse::core::config::L1Preset;
+use fuse::runner::{run_workload, RunConfig, RunResult};
+use fuse::workloads::by_name;
+
+fn run(workload: &str, preset: L1Preset) -> RunResult {
+    let spec = by_name(workload).expect("known workload");
+    let rc = RunConfig { ops_scale: 0.5, ..RunConfig::standard() };
+    run_workload(&spec, preset, &rc)
+}
+
+#[test]
+fn oracle_dominates_on_thrashing_workloads() {
+    // Fig. 3: the Oracle is the upper bound.
+    for w in ["ATAX", "GESUM"] {
+        let oracle = run(w, L1Preset::Oracle);
+        for preset in [L1Preset::L1Sram, L1Preset::SttOnly, L1Preset::DyFuse] {
+            let r = run(w, preset);
+            assert!(
+                oracle.ipc() >= r.ipc() * 0.98,
+                "{w}: Oracle ({:.3}) must dominate {preset} ({:.3})",
+                oracle.ipc(),
+                r.ipc()
+            );
+        }
+    }
+}
+
+#[test]
+fn full_associativity_beats_set_conflicts_on_column_walks() {
+    // Fig. 13/14: ATAX's power-of-two column pitch destroys the
+    // set-associative designs; FA-SRAM and FA-FUSE shrug it off.
+    let base = run("ATAX", L1Preset::L1Sram);
+    let fa_sram = run("ATAX", L1Preset::FaSram);
+    let fa_fuse = run("ATAX", L1Preset::FaFuse);
+    assert!(fa_sram.ipc() > 1.3 * base.ipc(), "FA-SRAM should clearly win on ATAX");
+    assert!(fa_fuse.ipc() > 1.3 * base.ipc(), "FA-FUSE should clearly win on ATAX");
+    assert!(
+        fa_fuse.miss_rate() < 0.5 * base.miss_rate(),
+        "approximate full associativity must remove conflict misses: {} vs {}",
+        fa_fuse.miss_rate(),
+        base.miss_rate()
+    );
+}
+
+#[test]
+fn dy_fuse_beats_the_baseline_and_cuts_outgoing_references() {
+    // The abstract's claims, at reduced budget: better IPC, fewer outgoing
+    // memory references, less L1 energy on the irregular workloads.
+    for w in ["ATAX", "MVT", "GESUM"] {
+        let base = run(w, L1Preset::L1Sram);
+        let dy = run(w, L1Preset::DyFuse);
+        assert!(dy.ipc() > 1.5 * base.ipc(), "{w}: Dy-FUSE speedup too small");
+        assert!(
+            dy.outgoing_requests() < base.outgoing_requests(),
+            "{w}: Dy-FUSE must reduce outgoing references"
+        );
+        assert!(dy.l1_energy_nj() < base.l1_energy_nj(), "{w}: Dy-FUSE must save L1 energy");
+    }
+}
+
+#[test]
+fn fuse_family_ordering_holds_on_irregular_workloads() {
+    // Fig. 13: Hybrid <= Base-FUSE <= FA-FUSE and Dy-FUSE near the top.
+    let hybrid = run("BICG", L1Preset::Hybrid);
+    let base_fuse = run("BICG", L1Preset::BaseFuse);
+    let fa_fuse = run("BICG", L1Preset::FaFuse);
+    let dy_fuse = run("BICG", L1Preset::DyFuse);
+    assert!(base_fuse.ipc() >= 0.97 * hybrid.ipc(), "swap buffer + tag queue must not hurt");
+    assert!(fa_fuse.ipc() > 1.2 * base_fuse.ipc(), "full associativity is the big win");
+    assert!(dy_fuse.ipc() > 0.95 * fa_fuse.ipc(), "the predictor must not lose what FA won");
+}
+
+#[test]
+fn by_nvm_bypasses_on_streaming_workloads() {
+    // Table II: GESUM's By-NVM bypass ratio is the highest (0.96).
+    let r = run("GESUM", L1Preset::ByNvm);
+    let bypassed = r.metrics.bypassed_loads + r.metrics.bypassed_stores;
+    assert!(bypassed > 0, "dead-write bypass must trigger on GESUM");
+    let base = run("GESUM", L1Preset::SttOnly);
+    assert!(
+        r.ipc() >= base.ipc(),
+        "bypassing should not lose to blocking pure STT on streaming loads"
+    );
+}
+
+#[test]
+fn blocking_hybrid_pays_stt_write_stalls() {
+    // Fig. 15's normalisation baseline: Hybrid generates STT-busy stalls,
+    // Base-FUSE absorbs them with the swap buffer + tag queue.
+    let hybrid = run("PVC", L1Preset::Hybrid);
+    let base_fuse = run("PVC", L1Preset::BaseFuse);
+    assert!(hybrid.metrics.stt_busy_rejections > 0, "Hybrid must stall on STT writes");
+    assert!(
+        base_fuse.metrics.stt_busy_rejections < hybrid.metrics.stt_busy_rejections / 2,
+        "Base-FUSE must remove most STT stalls: {} vs {}",
+        base_fuse.metrics.stt_busy_rejections,
+        hybrid.metrics.stt_busy_rejections
+    );
+}
+
+#[test]
+fn predictor_is_accurate_and_migrations_are_rare() {
+    // Fig. 16: high accuracy over confident predictions; §IV-A: queue
+    // flushes are a small share of requests. PVC churns enough WM and
+    // WORM blocks through the cache to grade plenty of evictions.
+    let r = run("PVC", L1Preset::DyFuse);
+    let a = r.metrics.accuracy;
+    assert!(a.total() > 0, "evictions must be graded");
+    let confident = a.trues + a.falses;
+    if confident > 0 {
+        assert!(
+            a.trues as f64 / confident as f64 > 0.6,
+            "prediction accuracy too low: {} true / {} false / {} neutral",
+            a.trues,
+            a.falses,
+            a.neutrals
+        );
+    }
+    let flush_share = r.metrics.stt_write_updates as f64 / r.sim.l1.accesses() as f64;
+    assert!(flush_share < 0.15, "write updates should be rare, got {flush_share}");
+}
+
+#[test]
+fn volta_machine_preserves_the_ordering() {
+    // Fig. 19: a bigger machine shrinks the gaps but keeps the order.
+    let spec = by_name("ATAX").expect("known workload");
+    let rc = RunConfig { ops_scale: 0.1, ..RunConfig::volta() };
+    let base = run_workload(&spec, L1Preset::L1Sram, &rc);
+    let dy = run_workload(&spec, L1Preset::DyFuse, &rc);
+    assert!(dy.ipc() > base.ipc(), "Dy-FUSE must still win on Volta");
+}

@@ -1,0 +1,94 @@
+//! End-to-end smoke: every L1D preset runs every-ish workload class to
+//! completion, deterministically, with self-consistent statistics.
+
+use fuse::core::config::L1Preset;
+use fuse::runner::{run_workload, RunConfig, RunResult};
+use fuse::workloads::by_name;
+
+fn smoke(workload: &str, preset: L1Preset) -> RunResult {
+    let spec = by_name(workload).expect("known workload");
+    run_workload(&spec, preset, &RunConfig::smoke())
+}
+
+#[test]
+fn every_preset_completes_every_workload_class() {
+    // One irregular, one regular, one write-heavy, one streaming workload.
+    for workload in ["ATAX", "2DCONV", "PVC", "pathf"] {
+        let mut instructions = None;
+        for preset in L1Preset::ALL {
+            let r = smoke(workload, preset);
+            assert!(r.sim.cycles > 0, "{workload}/{preset}: no cycles");
+            assert!(r.ipc() > 0.0, "{workload}/{preset}: zero IPC");
+            // The workload is fixed: every L1 design executes the same
+            // instruction stream.
+            let expect = *instructions.get_or_insert(r.sim.instructions);
+            assert_eq!(r.sim.instructions, expect, "{workload}/{preset}: instruction drift");
+        }
+    }
+}
+
+#[test]
+fn statistics_are_self_consistent() {
+    for preset in [L1Preset::L1Sram, L1Preset::ByNvm, L1Preset::DyFuse] {
+        let r = smoke("GEMM", preset);
+        let l1 = r.sim.l1;
+        assert_eq!(l1.accesses(), l1.hits + l1.misses + l1.mshr_merges);
+        // Whatever leaves the L1 is at least the primary misses.
+        assert!(
+            r.sim.outgoing_requests >= l1.misses,
+            "{preset}: outgoing {} < misses {}",
+            r.sim.outgoing_requests,
+            l1.misses
+        );
+        // Every off-chip read that completed was traced.
+        assert!(r.sim.completed_reads > 0);
+        assert!(r.sim.net_residency > 0);
+        assert!(r.sim.mem_residency > 0);
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    for preset in [L1Preset::L1Sram, L1Preset::FaFuse, L1Preset::DyFuse, L1Preset::Oracle] {
+        let a = smoke("BICG", preset);
+        let b = smoke("BICG", preset);
+        assert_eq!(a.sim, b.sim, "{preset}: non-deterministic simulation");
+        assert_eq!(a.metrics, b.metrics, "{preset}: non-deterministic metrics");
+    }
+}
+
+#[test]
+fn dram_row_hits_exist_for_streaming_workloads() {
+    let r = smoke("2DCONV", L1Preset::L1Sram);
+    assert!(r.sim.dram_accesses > 0);
+    assert!(
+        r.sim.dram_row_hits * 10 > r.sim.dram_accesses,
+        "sequential sweeps should hit open DRAM rows: {} of {}",
+        r.sim.dram_row_hits,
+        r.sim.dram_accesses
+    );
+}
+
+#[test]
+fn energy_breakdown_sums_and_is_positive() {
+    for preset in [L1Preset::L1Sram, L1Preset::DyFuse] {
+        let r = smoke("SYR2K", preset);
+        let e = &r.energy;
+        let parts = e.sram_dynamic_nj
+            + e.sram_leakage_nj
+            + e.stt_dynamic_nj
+            + e.stt_leakage_nj
+            + e.l2_nj
+            + e.dram_nj
+            + e.network_nj
+            + e.compute_nj;
+        assert!((parts - e.total_nj()).abs() < 1e-6);
+        assert!(e.total_nj() > 0.0);
+        assert!(e.l1_nj() > 0.0);
+    }
+    // Dy-FUSE has an STT bank; the baseline does not.
+    let base = smoke("SYR2K", L1Preset::L1Sram);
+    let dy = smoke("SYR2K", L1Preset::DyFuse);
+    assert_eq!(base.energy.stt_dynamic_nj, 0.0);
+    assert!(dy.energy.stt_dynamic_nj > 0.0);
+}

@@ -1,0 +1,85 @@
+//! Property-based tests over the workload generators and the simulation
+//! engine: arbitrary calibrations must produce valid, deterministic traces
+//! and self-consistent runs.
+
+use proptest::prelude::*;
+
+use fuse::core::config::L1Preset;
+use fuse::gpu::coalesce::coalesce;
+use fuse::gpu::warp::WarpOp;
+use fuse::runner::{run_workload, RunConfig};
+use fuse::workloads::gen::GenProgram;
+use fuse::workloads::spec::{ClassMix, Suite, WorkloadSpec};
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        0.0..1.0f64,            // irregularity
+        1.0..200.0f64,          // apki
+        (0.0..1.0f64, 0.0..1.0f64, 0.01..1.0f64, 0.0..1.0f64), // mix
+        8u64..4096,             // worm region
+        0.0..0.9f64,            // local reuse
+        1usize..=16,            // scatter lines
+    )
+        .prop_map(|(irr, apki, (wm, ri, worm, woro), region, reuse, scatter)| WorkloadSpec {
+            name: "prop",
+            suite: Suite::PolyBench,
+            apki,
+            paper_bypass_ratio: 0.0,
+            mix: ClassMix { wm, read_intensive: ri, worm, woro },
+            irregularity: irr,
+            pitch_lines: 64,
+            worm_region_lines: region,
+            ri_region_lines: 48,
+            wm_region_lines: 16,
+            local_reuse: reuse,
+            scatter_lines: scatter,
+            ops_per_warp: 64,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_traces_are_valid_and_deterministic(spec in arb_spec(), sm in 0usize..8, warp in 0u16..48) {
+        let drain = |spec: WorkloadSpec| {
+            let mut p = GenProgram::new(spec, sm, warp, 64);
+            let mut ops = Vec::new();
+            while let Some(op) = fuse::gpu::warp::WarpProgram::next_op(&mut p) {
+                if let WarpOp::Mem(m) = &op {
+                    // Every memory op coalesces to 1..=32 valid lines.
+                    let lines = coalesce(m);
+                    prop_assert!(!lines.is_empty() && lines.len() <= 32);
+                }
+                ops.push(op);
+            }
+            prop_assert_eq!(ops.len(), 64);
+            Ok(ops)
+        };
+        let a = drain(spec)?;
+        let b = drain(spec)?;
+        prop_assert_eq!(a, b, "same seed must give the same trace");
+    }
+
+    #[test]
+    fn simulation_invariants_hold_for_arbitrary_workloads(spec in arb_spec()) {
+        let rc = RunConfig {
+            gpu: fuse::gpu::config::GpuConfig {
+                num_sms: 2,
+                warps_per_sm: 4,
+                ..fuse::gpu::config::GpuConfig::gtx480()
+            },
+            ops_scale: 1.0,
+            max_cycles: 2_000_000,
+        };
+        for preset in [L1Preset::L1Sram, L1Preset::DyFuse] {
+            let r = run_workload(&spec, preset, &rc);
+            // The whole program retires within the cycle cap.
+            prop_assert_eq!(r.sim.instructions, 2 * 4 * 64);
+            let l1 = r.sim.l1;
+            prop_assert_eq!(l1.accesses(), l1.hits + l1.misses + l1.mshr_merges);
+            prop_assert!(r.sim.outgoing_requests >= l1.misses);
+            prop_assert!(r.energy.total_nj() >= 0.0);
+        }
+    }
+}
