@@ -18,7 +18,12 @@ use fuse_workloads::by_name;
 
 const WORKLOADS: [&str; 2] = ["ATAX", "PVC"];
 
-fn run_row(label: &str, cfg: &fuse_core::config::L1Config, rc: &RunConfig, base: &[f64]) -> Vec<String> {
+fn run_row(
+    label: &str,
+    cfg: &fuse_core::config::L1Config,
+    rc: &RunConfig,
+    base: &[f64],
+) -> Vec<String> {
     let mut row = vec![label.to_string()];
     for (i, w) in WORKLOADS.iter().enumerate() {
         let spec = by_name(w).expect("known workload");
@@ -48,7 +53,10 @@ fn main() {
     t.headers(&headers);
     for entries in [1usize, 2, 3, 8] {
         let mut cfg = L1Preset::DyFuse.config();
-        cfg.non_blocking = Some(NonBlocking { swap_entries: entries, ..NonBlocking::default() });
+        cfg.non_blocking = Some(NonBlocking {
+            swap_entries: entries,
+            ..NonBlocking::default()
+        });
         t.row(run_row(&format!("swap={entries}"), &cfg, &rc, &base));
     }
     t.print();
@@ -57,8 +65,10 @@ fn main() {
     t.headers(&headers);
     for entries in [2usize, 8, 16, 64] {
         let mut cfg = L1Preset::DyFuse.config();
-        cfg.non_blocking =
-            Some(NonBlocking { tag_queue_entries: entries, ..NonBlocking::default() });
+        cfg.non_blocking = Some(NonBlocking {
+            tag_queue_entries: entries,
+            ..NonBlocking::default()
+        });
         t.row(run_row(&format!("tq={entries}"), &cfg, &rc, &base));
     }
     t.print();

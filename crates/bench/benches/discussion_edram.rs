@@ -16,8 +16,17 @@ const WORKLOADS: [&str; 5] = ["ATAX", "BICG", "GEMM", "SYR2K", "PVC"];
 fn main() {
     let rc = bench_config();
     let edram_cfg = edram_dy_fuse(rc.gpu.clock_ghz);
-    let mut t = Table::new("Discussion (§VI) — Dy-FUSE with STT-MRAM vs eDRAM in the non-SRAM bank");
-    t.headers(&["workload", "STT IPC", "eDRAM IPC", "eDRAM/STT", "STT miss", "eDRAM miss", "refreshes"]);
+    let mut t =
+        Table::new("Discussion (§VI) — Dy-FUSE with STT-MRAM vs eDRAM in the non-SRAM bank");
+    t.headers(&[
+        "workload",
+        "STT IPC",
+        "eDRAM IPC",
+        "eDRAM/STT",
+        "STT miss",
+        "eDRAM miss",
+        "refreshes",
+    ]);
     let mut ratios = Vec::new();
     for name in WORKLOADS {
         let spec = by_name(name).expect("known workload");

@@ -13,8 +13,17 @@ use fuse_workloads::all_workloads;
 
 fn main() {
     let rc = bench_config();
-    let mut fig1a = Table::new("Fig. 1a — execution time fraction lost to off-chip accesses (L1-SRAM baseline)");
-    fig1a.headers(&["workload", "network", "DRAM", "off-chip total", "avg net cyc", "avg mem cyc"]);
+    let mut fig1a = Table::new(
+        "Fig. 1a — execution time fraction lost to off-chip accesses (L1-SRAM baseline)",
+    );
+    fig1a.headers(&[
+        "workload",
+        "network",
+        "DRAM",
+        "off-chip total",
+        "avg net cyc",
+        "avg mem cyc",
+    ]);
     let mut fig1b = Table::new("Fig. 1b — GPU energy fraction (L1-SRAM baseline)");
     fig1b.headers(&["workload", "L2$", "L1D$", "compute (SM)", "off-chip"]);
 

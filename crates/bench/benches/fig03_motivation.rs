@@ -13,8 +13,11 @@ use fuse_workloads::fig3_workloads;
 
 fn main() {
     let rc = bench_config();
-    let presets =
-        [("Vanilla GPU", L1Preset::L1Sram), ("STT-MRAM GPU", L1Preset::SttOnly), ("Oracle GPU", L1Preset::Oracle)];
+    let presets = [
+        ("Vanilla GPU", L1Preset::L1Sram),
+        ("STT-MRAM GPU", L1Preset::SttOnly),
+        ("Oracle GPU", L1Preset::Oracle),
+    ];
 
     let mut miss = Table::new("Fig. 3a — L1D miss rate");
     miss.headers(&["workload", "Vanilla GPU", "STT-MRAM GPU", "Oracle GPU"]);
@@ -24,7 +27,10 @@ fn main() {
     let mut oracle_speedups = Vec::new();
     let mut miss_reductions = Vec::new();
     for w in fig3_workloads() {
-        let runs: Vec<_> = presets.iter().map(|(_, p)| run_workload(&w, *p, &rc)).collect();
+        let runs: Vec<_> = presets
+            .iter()
+            .map(|(_, p)| run_workload(&w, *p, &rc))
+            .collect();
         miss.row(vec![
             w.name.to_string(),
             f(runs[0].miss_rate(), 3),

@@ -17,10 +17,22 @@ fn main() {
     let approx_cfg = L1Preset::FaFuse.config();
     let exact_cfg = exact_fa_fuse();
 
-    let mut t = Table::new("Fig. 7b — IPC of approximate vs exact full associativity (normalised to exact)");
-    t.headers(&["suite", "Approximate", "Fully assoc.", "avg tag-search cycles"]);
+    let mut t = Table::new(
+        "Fig. 7b — IPC of approximate vs exact full associativity (normalised to exact)",
+    );
+    t.headers(&[
+        "suite",
+        "Approximate",
+        "Fully assoc.",
+        "avg tag-search cycles",
+    ]);
     let mut gaps = Vec::new();
-    for suite in [Suite::PolyBench, Suite::Mars, Suite::Rodinia, Suite::Parboil] {
+    for suite in [
+        Suite::PolyBench,
+        Suite::Mars,
+        Suite::Rodinia,
+        Suite::Parboil,
+    ] {
         let mut ratios = Vec::new();
         let mut search = Vec::new();
         for w in by_suite(suite) {

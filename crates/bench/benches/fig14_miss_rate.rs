@@ -7,13 +7,12 @@
 //! changes placement, not capacity).
 
 use fuse::core::config::L1Preset;
-use fuse::runner::run_workload;
+use fuse::sweep::SweepPlan;
 use fuse_bench::table::f;
-use fuse_bench::{bench_config, Table};
+use fuse_bench::{bench_config, record_sweep, Table};
 use fuse_workloads::all_workloads;
 
 fn main() {
-    let rc = bench_config();
     let presets = [
         L1Preset::L1Sram,
         L1Preset::ByNvm,
@@ -23,19 +22,24 @@ fn main() {
         L1Preset::FaFuse,
         L1Preset::DyFuse,
     ];
+    let report = SweepPlan::new("fig14", bench_config())
+        .workloads(all_workloads())
+        .presets(&presets)
+        .run();
+
     let mut t = Table::new("Fig. 14 — L1D miss rate");
-    let headers: Vec<&str> =
-        std::iter::once("workload").chain(presets.iter().map(|p| p.name())).collect();
+    let headers: Vec<&str> = std::iter::once("workload")
+        .chain(presets.iter().map(|p| p.name()))
+        .collect();
     t.headers(&headers);
 
     let mut sums = vec![0.0f64; presets.len()];
     let mut n = 0usize;
-    for w in all_workloads() {
-        let mut row = vec![w.name.to_string()];
-        for (i, p) in presets.iter().enumerate() {
-            let r = run_workload(&w, *p, &rc);
-            sums[i] += r.miss_rate();
-            row.push(f(r.miss_rate(), 3));
+    for (wi, w) in report.workloads.iter().enumerate() {
+        let mut row = vec![w.clone()];
+        for (i, cell) in report.row(wi).iter().enumerate() {
+            sums[i] += cell.result.miss_rate();
+            row.push(f(cell.result.miss_rate(), 3));
         }
         n += 1;
         t.row(row);
@@ -51,4 +55,5 @@ fn main() {
         100.0 * (sums[2] - sums[0]) / n as f64,
         100.0 * (sums[5] - sums[0]) / n as f64
     );
+    record_sweep(&report);
 }

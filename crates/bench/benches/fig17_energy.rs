@@ -6,13 +6,13 @@
 //! and ~7% vs FA-FUSE; the abstract's 53% saving is vs L1-SRAM.
 
 use fuse::core::config::L1Preset;
-use fuse::runner::{geomean, run_workload};
+use fuse::runner::geomean;
+use fuse::sweep::SweepPlan;
 use fuse_bench::table::f;
-use fuse_bench::{bench_config, Table};
+use fuse_bench::{bench_config, record_sweep, Table};
 use fuse_workloads::all_workloads;
 
 fn main() {
-    let rc = bench_config();
     let presets = [
         L1Preset::L1Sram,
         L1Preset::ByNvm,
@@ -20,20 +20,26 @@ fn main() {
         L1Preset::FaFuse,
         L1Preset::DyFuse,
     ];
+    let report = SweepPlan::new("fig17", bench_config())
+        .workloads(all_workloads())
+        .presets(&presets)
+        .run();
+
     let mut t = Table::new("Fig. 17 — L1D energy normalised to L1-SRAM");
-    let headers: Vec<&str> =
-        std::iter::once("workload").chain(presets.iter().skip(1).map(|p| p.name())).collect();
+    let headers: Vec<&str> = std::iter::once("workload")
+        .chain(presets.iter().skip(1).map(|p| p.name()))
+        .collect();
     t.headers(&headers);
 
     let mut per_preset: Vec<Vec<f64>> = vec![Vec::new(); presets.len()];
-    for w in all_workloads() {
-        let runs: Vec<_> = presets.iter().map(|p| run_workload(&w, *p, &rc)).collect();
-        let base = runs[0].l1_energy_nj();
-        let mut row = vec![w.name.to_string()];
-        for (i, r) in runs.iter().enumerate() {
-            per_preset[i].push(r.l1_energy_nj() / base);
+    for (wi, w) in report.workloads.iter().enumerate() {
+        let runs = report.row(wi);
+        let base = runs[0].result.l1_energy_nj();
+        let mut row = vec![w.clone()];
+        for (i, cell) in runs.iter().enumerate() {
+            per_preset[i].push(cell.result.l1_energy_nj() / base);
             if i > 0 {
-                row.push(f(r.l1_energy_nj() / base, 2));
+                row.push(f(cell.result.l1_energy_nj() / base, 2));
             }
         }
         t.row(row);
@@ -50,4 +56,5 @@ fn main() {
         dy,
         100.0 * (1.0 - dy)
     );
+    record_sweep(&report);
 }

@@ -5,37 +5,46 @@
 //! (3/4) shrinks total capacity, more STT (1/16…1/4) starves the
 //! write-multiple data of SRAM and pays STT write penalties.
 
-use fuse::runner::{geomean, run_l1_config};
+use fuse::runner::geomean;
+use fuse::sweep::SweepPlan;
 use fuse_bench::table::f;
-use fuse_bench::{bench_config, Table};
+use fuse_bench::{bench_config, record_sweep, Table};
 use fuse_core::config::dy_fuse_with_ratio;
 use fuse_workloads::fig18_workloads;
 
-const RATIOS: [(u64, u64, &str); 5] =
-    [(1, 16, "1/16"), (1, 8, "1/8"), (1, 4, "1/4"), (1, 2, "1/2"), (3, 4, "3/4")];
+const RATIOS: [(u64, u64, &str); 5] = [
+    (1, 16, "1/16"),
+    (1, 8, "1/8"),
+    (1, 4, "1/4"),
+    (1, 2, "1/2"),
+    (3, 4, "3/4"),
+];
 
 fn main() {
-    let rc = bench_config();
+    let mut plan = SweepPlan::new("fig18", bench_config()).workloads(fig18_workloads());
+    for (num, den, name) in RATIOS {
+        plan = plan.custom(name, dy_fuse_with_ratio(num, den));
+    }
+    let report = plan.run();
+
     let mut ipc_t = Table::new("Fig. 18a — IPC normalised to the 1/16 split");
     let mut miss_t = Table::new("Fig. 18b — L1D miss rate");
-    let headers: Vec<&str> =
-        std::iter::once("workload").chain(RATIOS.iter().map(|r| r.2)).collect();
+    let headers: Vec<&str> = std::iter::once("workload")
+        .chain(RATIOS.iter().map(|r| r.2))
+        .collect();
     ipc_t.headers(&headers);
     miss_t.headers(&headers);
 
     let mut per_ratio: Vec<Vec<f64>> = vec![Vec::new(); RATIOS.len()];
-    for w in fig18_workloads() {
-        let runs: Vec<_> = RATIOS
-            .iter()
-            .map(|(num, den, name)| run_l1_config(&w, &dy_fuse_with_ratio(*num, *den), name, &rc))
-            .collect();
-        let base = runs[0].ipc();
-        let mut ipc_row = vec![w.name.to_string()];
-        let mut miss_row = vec![w.name.to_string()];
-        for (i, r) in runs.iter().enumerate() {
-            per_ratio[i].push(r.ipc() / base);
-            ipc_row.push(f(r.ipc() / base, 2));
-            miss_row.push(f(r.miss_rate(), 3));
+    for (wi, w) in report.workloads.iter().enumerate() {
+        let runs = report.row(wi);
+        let base = runs[0].result.ipc();
+        let mut ipc_row = vec![w.clone()];
+        let mut miss_row = vec![w.clone()];
+        for (i, cell) in runs.iter().enumerate() {
+            per_ratio[i].push(cell.result.ipc() / base);
+            ipc_row.push(f(cell.result.ipc() / base, 2));
+            miss_row.push(f(cell.result.miss_rate(), 3));
         }
         ipc_t.row(ipc_row);
         miss_t.row(miss_row);
@@ -55,4 +64,5 @@ fn main() {
         .map(|(r, _)| r.2)
         .expect("non-empty");
     println!("best split at the geomean: {best} (paper: 1/2)");
+    record_sweep(&report);
 }

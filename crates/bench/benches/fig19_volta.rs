@@ -22,8 +22,9 @@ fn main() {
         L1Preset::DyFuse,
     ];
     let mut t = Table::new("Fig. 19 — IPC normalised to L1-SRAM on the Volta-class machine");
-    let headers: Vec<&str> =
-        std::iter::once("workload").chain(presets.iter().skip(1).map(|p| p.name())).collect();
+    let headers: Vec<&str> = std::iter::once("workload")
+        .chain(presets.iter().skip(1).map(|p| p.name()))
+        .collect();
     t.headers(&headers);
 
     let mut per_preset: Vec<Vec<f64>> = vec![Vec::new(); presets.len()];

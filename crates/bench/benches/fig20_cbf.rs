@@ -25,7 +25,14 @@ fn main() {
     let rc = bench_config();
 
     let mut a = Table::new("Fig. 20a — CBF false-positive rate vs hash functions (128 slots)");
-    a.headers(&["workload", "CBF-1func", "CBF-2func", "CBF-3func", "CBF-4func", "CBF-5func"]);
+    a.headers(&[
+        "workload",
+        "CBF-1func",
+        "CBF-2func",
+        "CBF-3func",
+        "CBF-4func",
+        "CBF-5func",
+    ]);
     let mut one = Vec::new();
     let mut three = Vec::new();
     for w in fig20_workloads() {

@@ -1,12 +1,12 @@
-//! Criterion micro-benchmarks of the core data structures: the hot paths
-//! every simulated cycle exercises (tag probes, CBF tests, approximate
-//! search, predictor training, MSHR traffic, DRAM scheduling) plus a
-//! whole-system throughput measurement.
-
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+//! Micro-benchmarks of the core data structures: the hot paths every
+//! simulated cycle exercises (tag probes, CBF tests, approximate search,
+//! predictor training, MSHR traffic, DRAM scheduling) plus a whole-system
+//! throughput measurement. Uses the in-repo [`fuse_bench::timing`] harness
+//! (no criterion), so the workspace resolves offline.
 
 use fuse::core::config::L1Preset;
 use fuse::runner::{run_workload, RunConfig};
+use fuse_bench::timing::{black_box, Harness};
 use fuse_cache::approx_assoc::{ApproxAssocStore, ApproxConfig};
 use fuse_cache::bloom::CountingBloomFilter;
 use fuse_cache::line::LineAddr;
@@ -17,110 +17,114 @@ use fuse_mem::dram::{DramChannel, DramRequest, DramTiming};
 use fuse_predict::read_level::{ReadLevelConfig, ReadLevelPredictor};
 use fuse_workloads::by_name;
 
-fn bench_tag_array(c: &mut Criterion) {
-    c.bench_function("tag_array_probe_touch_fill_64x4", |b| {
-        let mut tags = TagArray::new(64, 4, PolicyKind::Lru);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9E3779B9);
-            let line = LineAddr(i >> 8 & 0xFFFF);
-            if tags.touch(black_box(line)).is_none() {
-                tags.fill(line, i & 1 == 0, 0);
-            }
-        })
-    });
-}
-
-fn bench_cbf(c: &mut Criterion) {
-    c.bench_function("cbf_test_3hash_128slots", |b| {
-        let mut f = CountingBloomFilter::new(128, 3, 2);
-        for i in 0..4 {
-            f.increment(LineAddr(i * 97));
+fn bench_tag_array(h: &Harness) {
+    let mut tags = TagArray::new(64, 4, PolicyKind::Lru);
+    let mut i = 0u64;
+    h.run("tag_array_probe_touch_fill_64x4", || {
+        i = i.wrapping_add(0x9E3779B9);
+        let line = LineAddr(i >> 8 & 0xFFFF);
+        if tags.touch(black_box(line)).is_none() {
+            tags.fill(line, i & 1 == 0, 0);
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(f.test(LineAddr(i & 0x3FF)))
-        })
     });
 }
 
-fn bench_approx_store(c: &mut Criterion) {
-    c.bench_function("approx_assoc_probe_512line", |b| {
-        let mut s = ApproxAssocStore::new(ApproxConfig::default());
-        for i in 0..512u64 {
-            s.fill(LineAddr(i * 3), false, 0);
+fn bench_cbf(h: &Harness) {
+    let mut f = CountingBloomFilter::new(128, 3, 2);
+    for i in 0..4 {
+        f.increment(LineAddr(i * 97));
+    }
+    let mut i = 0u64;
+    h.run("cbf_test_3hash_128slots", || {
+        i += 1;
+        black_box(f.test(LineAddr(i & 0x3FF)));
+    });
+}
+
+fn bench_approx_store(h: &Harness) {
+    let mut s = ApproxAssocStore::new(ApproxConfig::default());
+    for i in 0..512u64 {
+        s.fill(LineAddr(i * 3), false, 0);
+    }
+    let mut i = 0u64;
+    h.run("approx_assoc_probe_512line", || {
+        i = i.wrapping_add(7);
+        black_box(s.probe(LineAddr(i & 0x7FF)));
+    });
+}
+
+fn bench_predictor(h: &Harness) {
+    let mut p = ReadLevelPredictor::new(ReadLevelConfig::default());
+    let mut i = 0u64;
+    h.run("read_level_observe_classify", || {
+        i += 1;
+        let sig = ReadLevelPredictor::pc_signature((i & 0x3F) as u32 * 4);
+        p.observe(
+            (i % 48) as u16,
+            sig,
+            LineAddr(i & 0xFFF),
+            i.is_multiple_of(5),
+        );
+        black_box(p.classify(sig));
+    });
+}
+
+fn bench_mshr(h: &Harness) {
+    let mut m = Mshr::new(32, 8);
+    let t = MshrTarget {
+        warp: 0,
+        is_store: false,
+        pc_sig: 0,
+    };
+    let mut i = 0u64;
+    h.run("mshr_allocate_complete_32", || {
+        i += 1;
+        let line = LineAddr(i & 0x1F);
+        m.allocate(line, t, FillDest::Sram);
+        black_box(m.complete(line));
+    });
+}
+
+fn bench_dram(h: &Harness) {
+    let mut ch = DramChannel::new(DramTiming::default());
+    let mut now = 0u64;
+    let mut id = 0u64;
+    h.run("dram_channel_tick", || {
+        now += 1;
+        if ch.occupancy() < 8 {
+            id += 1;
+            ch.try_push(DramRequest {
+                id,
+                line: id * 17,
+                is_write: false,
+                arrival: now,
+            });
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(7);
-            black_box(s.probe(LineAddr(i & 0x7FF)))
-        })
+        black_box(ch.tick(now).len());
     });
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    c.bench_function("read_level_observe_classify", |b| {
-        let mut p = ReadLevelPredictor::new(ReadLevelConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let sig = ReadLevelPredictor::pc_signature((i & 0x3F) as u32 * 4);
-            p.observe((i % 48) as u16, sig, LineAddr(i & 0xFFF), i % 5 == 0);
-            black_box(p.classify(sig))
-        })
+fn bench_full_system() {
+    let spec = by_name("gaussian").expect("known workload");
+    let rc = RunConfig::smoke();
+    let m = Harness::coarse().run("system/dy_fuse_gaussian_smoke", || {
+        black_box(run_workload(&spec, L1Preset::DyFuse, &rc).sim.cycles);
     });
+    let sim_cycles = run_workload(&spec, L1Preset::DyFuse, &rc).sim.cycles;
+    println!(
+        "  -> engine throughput: {:.0} simulated cycles/s (smoke budget, {} cycles/run)",
+        sim_cycles as f64 / (m.median_ns / 1e9),
+        sim_cycles
+    );
 }
 
-fn bench_mshr(c: &mut Criterion) {
-    c.bench_function("mshr_allocate_complete_32", |b| {
-        let mut m = Mshr::new(32, 8);
-        let t = MshrTarget { warp: 0, is_store: false, pc_sig: 0 };
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let line = LineAddr(i & 0x1F);
-            m.allocate(line, t, FillDest::Sram);
-            black_box(m.complete(line))
-        })
-    });
+fn main() {
+    let h = Harness::default();
+    bench_tag_array(&h);
+    bench_cbf(&h);
+    bench_approx_store(&h);
+    bench_predictor(&h);
+    bench_mshr(&h);
+    bench_dram(&h);
+    bench_full_system();
 }
-
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram_channel_tick", |b| {
-        let mut ch = DramChannel::new(DramTiming::default());
-        let mut now = 0u64;
-        let mut id = 0u64;
-        b.iter(|| {
-            now += 1;
-            if ch.occupancy() < 8 {
-                id += 1;
-                ch.try_push(DramRequest { id, line: id * 17, is_write: false, arrival: now });
-            }
-            black_box(ch.tick(now).len())
-        })
-    });
-}
-
-fn bench_full_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("system");
-    g.sample_size(10);
-    g.bench_function("dy_fuse_gaussian_smoke", |b| {
-        let spec = by_name("gaussian").expect("known workload");
-        let rc = RunConfig::smoke();
-        b.iter(|| black_box(run_workload(&spec, L1Preset::DyFuse, &rc).sim.cycles))
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_tag_array,
-    bench_cbf,
-    bench_approx_store,
-    bench_predictor,
-    bench_mshr,
-    bench_dram,
-    bench_full_system
-);
-criterion_main!(benches);

@@ -17,9 +17,12 @@ const WORKLOADS: [&str; 4] = ["ATAX", "BICG", "GESUM", "SYR2K"];
 fn main() {
     let rc = bench_config();
     let limits = [48usize, 24, 12, 6];
-    let mut t = Table::new("Related work — warp throttling (L1-SRAM) vs Dy-FUSE, IPC normalised to 48 warps");
-    let mut headers: Vec<String> =
-        std::iter::once("workload".to_string()).chain(limits.iter().map(|l| format!("{l} warps"))).collect();
+    let mut t = Table::new(
+        "Related work — warp throttling (L1-SRAM) vs Dy-FUSE, IPC normalised to 48 warps",
+    );
+    let mut headers: Vec<String> = std::iter::once("workload".to_string())
+        .chain(limits.iter().map(|l| format!("{l} warps")))
+        .collect();
     headers.push("Dy-FUSE/48".to_string());
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     t.headers(&header_refs);

@@ -14,17 +14,37 @@ fn main() {
     let mut t = Table::new("Table I — general configuration");
     t.headers(&["parameter", "value", "paper"]);
     t.row(vec!["SMs".into(), g.num_sms.to_string(), "15".into()]);
-    t.row(vec!["warps/SM".into(), g.warps_per_sm.to_string(), "48".into()]);
-    t.row(vec!["threads/warp".into(), g.threads_per_warp.to_string(), "32".into()]);
-    t.row(vec!["threads/SM".into(), g.threads_per_sm().to_string(), "1536".into()]);
+    t.row(vec![
+        "warps/SM".into(),
+        g.warps_per_sm.to_string(),
+        "48".into(),
+    ]);
+    t.row(vec![
+        "threads/warp".into(),
+        g.threads_per_warp.to_string(),
+        "32".into(),
+    ]);
+    t.row(vec![
+        "threads/SM".into(),
+        g.threads_per_sm().to_string(),
+        "1536".into(),
+    ]);
     t.row(vec!["L2 banks".into(), g.l2_banks.to_string(), "12".into()]);
     t.row(vec![
         "L2 size".into(),
         format!("{} KB", g.l2_banks * g.l2_sets * g.l2_ways * 128 / 1024),
         "786 KB".into(),
     ]);
-    t.row(vec!["L2 sets/assoc per bank".into(), format!("{}/{}", g.l2_sets, g.l2_ways), "64/8".into()]);
-    t.row(vec!["DRAM channels".into(), g.dram_channels.to_string(), "6".into()]);
+    t.row(vec![
+        "L2 sets/assoc per bank".into(),
+        format!("{}/{}", g.l2_sets, g.l2_ways),
+        "64/8".into(),
+    ]);
+    t.row(vec![
+        "DRAM channels".into(),
+        g.dram_channels.to_string(),
+        "6".into(),
+    ]);
     t.row(vec![
         "tCL/tRCD/tRAS".into(),
         format!("{}/{}/{}", g.dram.t_cl, g.dram.t_rcd, g.dram.t_ras),
@@ -32,9 +52,21 @@ fn main() {
     ]);
     t.row(vec!["request queue".into(), "16".into(), "16".into()]);
     t.row(vec!["swap buffer entries".into(), "3".into(), "3".into()]);
-    t.row(vec!["CBFs / hash functions".into(), "128/3".into(), "128/3".into()]);
-    t.row(vec!["sampler assoc/sets".into(), "8/4".into(), "8/4".into()]);
-    t.row(vec!["history entries/threshold".into(), "1024/14".into(), "1024/14".into()]);
+    t.row(vec![
+        "CBFs / hash functions".into(),
+        "128/3".into(),
+        "128/3".into(),
+    ]);
+    t.row(vec![
+        "sampler assoc/sets".into(),
+        "8/4".into(),
+        "8/4".into(),
+    ]);
+    t.row(vec![
+        "history entries/threshold".into(),
+        "1024/14".into(),
+        "1024/14".into(),
+    ]);
     t.print();
 
     let mut t = Table::new("Table I — L1D configurations");
@@ -56,9 +88,7 @@ fn main() {
         let c = p.config();
         let sram = c
             .sram
-            .map(|s| {
-                format!("{} ({}x{})", s.sets * s.ways * 128 / 1024, s.sets, s.ways)
-            })
+            .map(|s| format!("{} ({}x{})", s.sets * s.ways * 128 / 1024, s.sets, s.ways))
             .unwrap_or_else(|| "-".into());
         let stt = c
             .stt
@@ -76,16 +106,32 @@ fn main() {
             .unwrap_or_else(|| "-".into());
         let sram_e = c
             .sram
-            .map(|s| format!("{}/{}", f(s.params.read_energy_nj, 2), f(s.params.write_energy_nj, 2)))
+            .map(|s| {
+                format!(
+                    "{}/{}",
+                    f(s.params.read_energy_nj, 2),
+                    f(s.params.write_energy_nj, 2)
+                )
+            })
             .unwrap_or_else(|| "-".into());
         let stt_e = c
             .stt
-            .map(|s| format!("{}/{}", f(s.params.read_energy_nj, 2), f(s.params.write_energy_nj, 2)))
+            .map(|s| {
+                format!(
+                    "{}/{}",
+                    f(s.params.read_energy_nj, 2),
+                    f(s.params.write_energy_nj, 2)
+                )
+            })
             .unwrap_or_else(|| "-".into());
         let leak = format!(
             "{}+{}",
-            c.sram.map(|s| f(s.params.leakage_mw, 1)).unwrap_or_else(|| "0".into()),
-            c.stt.map(|s| f(s.params.leakage_mw, 1)).unwrap_or_else(|| "0".into()),
+            c.sram
+                .map(|s| f(s.params.leakage_mw, 1))
+                .unwrap_or_else(|| "0".into()),
+            c.stt
+                .map(|s| f(s.params.leakage_mw, 1))
+                .unwrap_or_else(|| "0".into()),
         );
         t.row(vec![
             p.name().into(),
@@ -95,7 +141,11 @@ fn main() {
             sram_e,
             stt_e,
             leak,
-            if c.non_blocking.is_some() { "yes".into() } else { "no".into() },
+            if c.non_blocking.is_some() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             match c.placement {
                 Placement::SramFirst => "SRAM-first".into(),
                 Placement::Predictor(_) => "read-level predictor".into(),

@@ -6,13 +6,18 @@
 //! *relative* ordering across workloads is the comparable quantity.
 
 use fuse::core::config::L1Preset;
-use fuse::runner::run_workload;
+use fuse::sweep::SweepPlan;
 use fuse_bench::table::f;
-use fuse_bench::{bench_config, Table};
+use fuse_bench::{bench_config, record_sweep, Table};
 use fuse_workloads::all_workloads;
 
 fn main() {
-    let rc = bench_config();
+    let specs = all_workloads();
+    let report = SweepPlan::new("table2", bench_config())
+        .workloads(specs.iter().copied())
+        .presets(&[L1Preset::ByNvm])
+        .run();
+
     let mut t = Table::new("Table II — workloads: measured vs paper");
     t.headers(&[
         "workload",
@@ -22,11 +27,15 @@ fn main() {
         "bypass (paper)",
         "bypass (measured)",
     ]);
-    for w in all_workloads() {
-        let r = run_workload(&w, L1Preset::ByNvm, &rc);
+    for (wi, w) in specs.iter().enumerate() {
+        let r = &report.cell(wi, 0).result;
         let bypassed = r.metrics.bypassed_loads + r.metrics.bypassed_stores;
         let demand = r.sim.l1.accesses() + r.metrics.bypassed_stores;
-        let bypass = if demand == 0 { 0.0 } else { bypassed as f64 / demand as f64 };
+        let bypass = if demand == 0 {
+            0.0
+        } else {
+            bypassed as f64 / demand as f64
+        };
         t.row(vec![
             w.name.to_string(),
             w.suite.to_string(),
@@ -37,5 +46,8 @@ fn main() {
         ]);
     }
     t.print();
-    println!("note: measured APKI is per kilo warp-instruction (paper: per kilo thread-instruction).");
+    println!(
+        "note: measured APKI is per kilo warp-instruction (paper: per kilo thread-instruction)."
+    );
+    record_sweep(&report);
 }

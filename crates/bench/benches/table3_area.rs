@@ -16,7 +16,12 @@ fn main() {
         for c in &report.components {
             let p = paper.iter().find(|(n, _)| *n == c.name).map(|(_, v)| *v);
             let delta = p
-                .map(|v| format!("{:+.1}%", 100.0 * (c.transistors as f64 - v as f64) / v as f64))
+                .map(|v| {
+                    format!(
+                        "{:+.1}%",
+                        100.0 * (c.transistors as f64 - v as f64) / v as f64
+                    )
+                })
                 .unwrap_or_else(|| "-".into());
             t.row(vec![
                 c.name.to_string(),

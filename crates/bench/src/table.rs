@@ -26,7 +26,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with a title line.
     pub fn new(title: impl Into<String>) -> Self {
-        Table { title: title.into(), headers: Vec::new(), rows: Vec::new() }
+        Table {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Sets the column headers.
@@ -53,7 +57,10 @@ impl Table {
 
     /// Renders the table to a string.
     pub fn render(&self) -> String {
-        let ncols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

@@ -1,0 +1,187 @@
+//! Minimal self-contained micro-benchmark harness.
+//!
+//! Replaces the `criterion` dev-dependency so the workspace resolves with
+//! no network or registry access. The methodology is deliberately simple
+//! and robust for this repo's use (relative regression tracking, not
+//! sub-nanosecond rigor):
+//!
+//! 1. calibrate a batch size so one batch runs ≥ ~1 ms,
+//! 2. time a fixed number of batches,
+//! 3. report the median batch (ns/iter), with min and mean alongside.
+//!
+//! The median makes one preempted batch harmless; the min approximates the
+//! no-interference cost.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's summary, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Median over the timed batches.
+    pub median_ns: f64,
+    /// Fastest batch.
+    pub min_ns: f64,
+    /// Mean over the timed batches.
+    pub mean_ns: f64,
+    /// Iterations executed per batch.
+    pub batch_iters: u64,
+    /// Batches timed.
+    pub batches: usize,
+}
+
+impl Measurement {
+    /// `iterations / second` implied by the median.
+    pub fn iters_per_sec(&self) -> f64 {
+        if self.median_ns > 0.0 {
+            1e9 / self.median_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Harness configuration: how long to calibrate and how many batches to
+/// time. The defaults keep the whole `micro_structures` suite under a
+/// minute.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Minimum wall time one batch must take (calibration target).
+    pub min_batch_ns: u64,
+    /// Batches measured after calibration.
+    pub batches: usize,
+    /// Hard cap on the per-batch iteration count (protects very slow
+    /// bodies, e.g. whole-system runs, from long calibration).
+    pub max_batch_iters: u64,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            min_batch_ns: 1_000_000,
+            batches: 15,
+            max_batch_iters: 1 << 24,
+        }
+    }
+}
+
+impl Harness {
+    /// A harness for heavyweight bodies (whole-system simulations): one
+    /// iteration per batch, few batches.
+    pub fn coarse() -> Self {
+        Harness {
+            min_batch_ns: 0,
+            batches: 5,
+            max_batch_iters: 1,
+        }
+    }
+
+    /// Times `body` and prints one aligned report line.
+    pub fn run<F: FnMut()>(&self, name: &str, mut body: F) -> Measurement {
+        // Calibrate: grow the batch until it costs min_batch_ns.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                body();
+            }
+            let spent = t.elapsed().as_nanos() as u64;
+            if spent >= self.min_batch_ns || iters >= self.max_batch_iters {
+                break;
+            }
+            // At least double; jump straight to the projected count when
+            // the sample was long enough to trust.
+            let projected = if spent == 0 {
+                iters * 16
+            } else {
+                (iters * self.min_batch_ns).div_ceil(spent)
+            };
+            iters = projected.max(iters * 2).min(self.max_batch_iters);
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
+            let t = Instant::now();
+            for _ in 0..iters {
+                body();
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let m = Measurement {
+            median_ns: median,
+            min_ns: min,
+            mean_ns: mean,
+            batch_iters: iters,
+            batches: samples.len(),
+        };
+        println!(
+            "{name:<44} {:>12}/iter   min {:>12}   mean {:>12}   ({} x {} iters)",
+            fmt_ns(m.median_ns),
+            fmt_ns(m.min_ns),
+            fmt_ns(m.mean_ns),
+            m.batches,
+            m.batch_iters
+        );
+        m
+    }
+}
+
+/// Human-scaled nanosecond formatting (`12.3 ns`, `4.56 µs`, `7.89 ms`).
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_body() {
+        let h = Harness {
+            min_batch_ns: 10_000,
+            batches: 5,
+            max_batch_iters: 1 << 20,
+        };
+        let mut x = 0u64;
+        let m = h.run("noop_add", || {
+            x = black_box(x.wrapping_add(1));
+        });
+        assert!(m.median_ns >= 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.batch_iters >= 1);
+        assert!(m.iters_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn coarse_runs_one_iteration_per_batch() {
+        let mut calls = 0u32;
+        let m = Harness::coarse().run("coarse", || {
+            calls += 1;
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        });
+        assert_eq!(m.batch_iters, 1);
+        // Calibration runs one batch, then `batches` timed ones.
+        assert_eq!(calls as usize, m.batches + 1);
+        assert!(m.median_ns >= 50_000.0 * 0.5);
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(4_560.0), "4.56 µs");
+        assert_eq!(fmt_ns(7_890_000.0), "7.89 ms");
+        assert_eq!(fmt_ns(1_200_000_000.0), "1.20 s");
+    }
+}

@@ -56,7 +56,7 @@ impl ApproxConfig {
     /// Panics if `lines` is not divisible by `num_cbfs`.
     pub fn lines_per_partition(&self) -> usize {
         assert!(
-            self.num_cbfs > 0 && self.lines % self.num_cbfs == 0,
+            self.num_cbfs > 0 && self.lines.is_multiple_of(self.num_cbfs),
             "lines ({}) must divide evenly into {} partitions",
             self.lines,
             self.num_cbfs
@@ -113,11 +113,21 @@ impl ApproxAssocStore {
         assert!(cfg.comparators > 0, "need at least one comparator");
         ApproxAssocStore {
             entries: vec![
-                TagEntry { line: LineAddr(0), valid: false, dirty: false, aux: 0 };
+                TagEntry {
+                    line: LineAddr(0),
+                    valid: false,
+                    dirty: false,
+                    aux: 0
+                };
                 cfg.lines
             ],
             fifo_next: 0,
-            cbfs: NvmCbfArray::new(cfg.num_cbfs, cfg.cbf_slots, cfg.cbf_hashes, cfg.cbf_counter_bits),
+            cbfs: NvmCbfArray::new(
+                cfg.num_cbfs,
+                cfg.cbf_slots,
+                cfg.cbf_hashes,
+                cfg.cbf_counter_bits,
+            ),
             cfg,
             valid_count: 0,
         }
@@ -155,7 +165,9 @@ impl ApproxAssocStore {
 
     /// Cycles needed to poll one partition with the configured comparators.
     fn cycles_per_partition(&self) -> u32 {
-        self.cfg.lines_per_partition().div_ceil(self.cfg.comparators) as u32
+        self.cfg
+            .lines_per_partition()
+            .div_ceil(self.cfg.comparators) as u32
     }
 
     /// Searches for `line`, modelling the CBF-guided serialized tag search.
@@ -223,7 +235,12 @@ impl ApproxAssocStore {
         } else {
             self.valid_count += 1;
         }
-        self.entries[slot] = TagEntry { line, valid: true, dirty, aux };
+        self.entries[slot] = TagEntry {
+            line,
+            valid: true,
+            dirty,
+            aux,
+        };
         self.cbfs.increment(p, line);
         evicted.valid.then_some(evicted)
     }
@@ -234,8 +251,12 @@ impl ApproxAssocStore {
         let slot = self.poll_all(line)?;
         let p = self.partition_of_slot(slot);
         let entry = self.entries[slot];
-        self.entries[slot] =
-            TagEntry { line: LineAddr(0), valid: false, dirty: false, aux: 0 };
+        self.entries[slot] = TagEntry {
+            line: LineAddr(0),
+            valid: false,
+            dirty: false,
+            aux: 0,
+        };
         self.cbfs.decrement(p, entry.line);
         self.valid_count -= 1;
         Some(entry)
@@ -243,9 +264,7 @@ impl ApproxAssocStore {
 
     /// Exact search without CBF involvement (simulator bookkeeping only).
     fn poll_all(&self, line: LineAddr) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.valid && e.line == line)
+        self.entries.iter().position(|e| e.valid && e.line == line)
     }
 }
 

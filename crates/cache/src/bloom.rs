@@ -43,7 +43,10 @@ impl BloomFilter {
     /// Panics if `slots` or `hashes` is zero.
     pub fn new(slots: usize, hashes: u32) -> Self {
         assert!(slots > 0 && hashes > 0, "filter geometry must be non-zero");
-        BloomFilter { bits: vec![false; slots], hashes }
+        BloomFilter {
+            bits: vec![false; slots],
+            hashes,
+        }
     }
 
     fn keys(&self, line: LineAddr) -> impl Iterator<Item = usize> + '_ {
@@ -101,7 +104,10 @@ impl CountingBloomFilter {
     /// Panics if any parameter is zero or `counter_bits > 7`.
     pub fn new(slots: usize, hashes: u32, counter_bits: u32) -> Self {
         assert!(slots > 0 && hashes > 0, "filter geometry must be non-zero");
-        assert!((1..=7).contains(&counter_bits), "counter width must be 1..=7 bits");
+        assert!(
+            (1..=7).contains(&counter_bits),
+            "counter width must be 1..=7 bits"
+        );
         CountingBloomFilter {
             counters: vec![0; slots],
             hashes,
@@ -233,7 +239,11 @@ mod tests {
             c.increment(LineAddr(i * 3));
         }
         for i in 0..200 {
-            assert_eq!(b.test(LineAddr(i)), c.test(LineAddr(i)), "divergence at {i}");
+            assert_eq!(
+                b.test(LineAddr(i)),
+                c.test(LineAddr(i)),
+                "divergence at {i}"
+            );
         }
     }
 

@@ -81,6 +81,10 @@ mod tests {
         let a = LineAddr(1).mix();
         let b = LineAddr(2).mix();
         assert_ne!(a, b);
-        assert_ne!(a & 0xFFFF, b & 0xFFFF, "low bits should differ after mixing");
+        assert_ne!(
+            a & 0xFFFF,
+            b & 0xFFFF,
+            "low bits should differ after mixing"
+        );
     }
 }

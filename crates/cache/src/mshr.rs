@@ -82,8 +82,16 @@ impl Mshr {
     ///
     /// Panics if either parameter is zero.
     pub fn new(capacity: usize, max_targets: usize) -> Self {
-        assert!(capacity > 0 && max_targets > 0, "MSHR geometry must be non-zero");
-        Mshr { entries: Vec::new(), capacity, max_targets, peak_occupancy: 0 }
+        assert!(
+            capacity > 0 && max_targets > 0,
+            "MSHR geometry must be non-zero"
+        );
+        Mshr {
+            entries: Vec::new(),
+            capacity,
+            max_targets,
+            peak_occupancy: 0,
+        }
     }
 
     /// Current number of outstanding lines.
@@ -122,7 +130,11 @@ impl Mshr {
         if self.entries.len() >= self.capacity {
             return MshrOutcome::FullEntries;
         }
-        self.entries.push(Entry { line, dest, targets: vec![target] });
+        self.entries.push(Entry {
+            line,
+            dest,
+            targets: vec![target],
+        });
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         MshrOutcome::NewMiss
     }
@@ -141,13 +153,20 @@ mod tests {
     use super::*;
 
     fn t(warp: u16) -> MshrTarget {
-        MshrTarget { warp, is_store: false, pc_sig: 0 }
+        MshrTarget {
+            warp,
+            is_store: false,
+            pc_sig: 0,
+        }
     }
 
     #[test]
     fn allocate_then_complete() {
         let mut m = Mshr::new(2, 4);
-        assert_eq!(m.allocate(LineAddr(1), t(0), FillDest::Stt), MshrOutcome::NewMiss);
+        assert_eq!(
+            m.allocate(LineAddr(1), t(0), FillDest::Stt),
+            MshrOutcome::NewMiss
+        );
         assert!(m.contains(LineAddr(1)));
         assert_eq!(m.dest_of(LineAddr(1)), Some(FillDest::Stt));
         let (dest, targets) = m.complete(LineAddr(1)).unwrap();
@@ -160,7 +179,10 @@ mod tests {
     fn merges_do_not_create_traffic() {
         let mut m = Mshr::new(2, 4);
         m.allocate(LineAddr(1), t(0), FillDest::Sram);
-        assert_eq!(m.allocate(LineAddr(1), t(1), FillDest::Stt), MshrOutcome::Merged);
+        assert_eq!(
+            m.allocate(LineAddr(1), t(1), FillDest::Stt),
+            MshrOutcome::Merged
+        );
         // First requester fixed the destination.
         assert_eq!(m.dest_of(LineAddr(1)), Some(FillDest::Sram));
         assert_eq!(m.occupancy(), 1);
@@ -173,7 +195,10 @@ mod tests {
         let mut m = Mshr::new(2, 4);
         m.allocate(LineAddr(1), t(0), FillDest::Sram);
         m.allocate(LineAddr(2), t(0), FillDest::Sram);
-        assert_eq!(m.allocate(LineAddr(3), t(0), FillDest::Sram), MshrOutcome::FullEntries);
+        assert_eq!(
+            m.allocate(LineAddr(3), t(0), FillDest::Sram),
+            MshrOutcome::FullEntries
+        );
         assert_eq!(m.peak_occupancy(), 2);
     }
 
@@ -182,9 +207,15 @@ mod tests {
         let mut m = Mshr::new(2, 2);
         m.allocate(LineAddr(1), t(0), FillDest::Sram);
         m.allocate(LineAddr(1), t(1), FillDest::Sram);
-        assert_eq!(m.allocate(LineAddr(1), t(2), FillDest::Sram), MshrOutcome::FullTargets);
+        assert_eq!(
+            m.allocate(LineAddr(1), t(2), FillDest::Sram),
+            MshrOutcome::FullTargets
+        );
         // But a different line still allocates.
-        assert_eq!(m.allocate(LineAddr(2), t(2), FillDest::Sram), MshrOutcome::NewMiss);
+        assert_eq!(
+            m.allocate(LineAddr(2), t(2), FillDest::Sram),
+            MshrOutcome::NewMiss
+        );
     }
 
     #[test]

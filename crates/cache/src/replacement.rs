@@ -41,9 +41,17 @@ impl ReplState {
     pub fn new(kind: PolicyKind, ways: usize) -> Self {
         assert!(ways > 0, "a set must have at least one way");
         if kind == PolicyKind::PseudoLru {
-            assert!(ways.is_power_of_two(), "pseudo-LRU requires power-of-two ways");
+            assert!(
+                ways.is_power_of_two(),
+                "pseudo-LRU requires power-of-two ways"
+            );
         }
-        ReplState { kind, stamps: vec![0; ways], tree: vec![false; ways.max(1) - 1], clock: 0 }
+        ReplState {
+            kind,
+            stamps: vec![0; ways],
+            tree: vec![false; ways.max(1) - 1],
+            clock: 0,
+        }
     }
 
     /// Number of ways tracked.
@@ -157,7 +165,11 @@ mod tests {
         }
         s.on_access(0);
         s.on_access(0);
-        assert_eq!(s.victim(&occ), 0, "FIFO must evict the oldest fill despite hits");
+        assert_eq!(
+            s.victim(&occ),
+            0,
+            "FIFO must evict the oldest fill despite hits"
+        );
         s.on_fill(0);
         assert_eq!(s.victim(&occ), 1);
     }
@@ -198,7 +210,10 @@ mod tests {
             seen[v] = true;
             s.on_fill(v);
         }
-        assert!(seen.iter().all(|&x| x), "pLRU never visited some way: {seen:?}");
+        assert!(
+            seen.iter().all(|&x| x),
+            "pLRU never visited some way: {seen:?}"
+        );
     }
 
     #[test]

@@ -86,7 +86,12 @@ mod tests {
 
     #[test]
     fn merges_count_as_misses_for_rate() {
-        let s = CacheStats { hits: 2, misses: 1, mshr_merges: 1, ..CacheStats::default() };
+        let s = CacheStats {
+            hits: 2,
+            misses: 1,
+            mshr_merges: 1,
+            ..CacheStats::default()
+        };
         assert_eq!(s.accesses(), 4);
         assert_eq!(s.miss_rate(), 0.5);
         assert_eq!(s.hit_rate(), 0.5);
@@ -94,8 +99,16 @@ mod tests {
 
     #[test]
     fn merge_accumulates_all_fields() {
-        let mut a = CacheStats { hits: 1, ..CacheStats::default() };
-        let b = CacheStats { hits: 2, writebacks: 3, bypasses: 4, ..CacheStats::default() };
+        let mut a = CacheStats {
+            hits: 1,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            hits: 2,
+            writebacks: 3,
+            bypasses: 4,
+            ..CacheStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.hits, 3);
         assert_eq!(a.writebacks, 3);

@@ -48,7 +48,11 @@ impl SwapBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "swap buffer needs at least one register");
-        SwapBuffer { entries: std::collections::VecDeque::new(), capacity, peak: 0 }
+        SwapBuffer {
+            entries: std::collections::VecDeque::new(),
+            capacity,
+            peak: 0,
+        }
     }
 
     /// Registers available.
@@ -124,7 +128,11 @@ mod tests {
     use super::*;
 
     fn e(n: u64) -> SwapEntry {
-        SwapEntry { line: LineAddr(n), dirty: false, aux: 0 }
+        SwapEntry {
+            line: LineAddr(n),
+            dirty: false,
+            aux: 0,
+        }
     }
 
     #[test]

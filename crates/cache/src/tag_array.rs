@@ -23,8 +23,12 @@ pub struct TagEntry {
 }
 
 impl TagEntry {
-    const INVALID: TagEntry =
-        TagEntry { line: LineAddr(0), valid: false, dirty: false, aux: 0 };
+    const INVALID: TagEntry = TagEntry {
+        line: LineAddr(0),
+        valid: false,
+        dirty: false,
+        aux: 0,
+    };
 }
 
 /// A set-associative tag array with per-set replacement state.
@@ -56,7 +60,10 @@ impl TagArray {
     /// Panics if `sets` is zero or not a power of two (the index function is
     /// a bit mask), or if `ways` is zero.
     pub fn new(sets: usize, ways: usize, policy: PolicyKind) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
         TagArray {
             sets,
@@ -120,12 +127,18 @@ impl TagArray {
         debug_assert!(self.probe(line).is_none(), "fill of resident line {line}");
         let set = self.set_index(line);
         let base = set * self.ways;
-        let occupied: Vec<bool> =
-            (0..self.ways).map(|w| self.entries[base + w].valid).collect();
+        let occupied: Vec<bool> = (0..self.ways)
+            .map(|w| self.entries[base + w].valid)
+            .collect();
         let way = self.repl[set].victim(&occupied);
         let idx = base + way;
         let evicted = self.entries[idx];
-        self.entries[idx] = TagEntry { line, valid: true, dirty, aux };
+        self.entries[idx] = TagEntry {
+            line,
+            valid: true,
+            dirty,
+            aux,
+        };
         self.repl[set].on_fill(way);
         if !evicted.valid {
             self.valid_count += 1;
@@ -232,7 +245,9 @@ mod tests {
         let mut t = TagArray::new(8, 4, PolicyKind::Fifo);
         let mut x = 12345u64;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let line = LineAddr(x >> 33);
             if t.probe(line).is_none() {
                 t.fill(line, false, 0);

@@ -152,7 +152,13 @@ mod tests {
     use super::*;
 
     fn cmd(n: u64, kind: TagCmdKind) -> TagCmd {
-        TagCmd { kind, line: LineAddr(n), warp: 0, enqueued_at: 0, extra_cycles: 0 }
+        TagCmd {
+            kind,
+            line: LineAddr(n),
+            warp: 0,
+            enqueued_at: 0,
+            extra_cycles: 0,
+        }
     }
 
     #[test]

@@ -100,7 +100,10 @@ pub struct NonBlocking {
 
 impl Default for NonBlocking {
     fn default() -> Self {
-        NonBlocking { swap_entries: 3, tag_queue_entries: 16 }
+        NonBlocking {
+            swap_entries: 3,
+            tag_queue_entries: 16,
+        }
     }
 }
 
@@ -139,9 +142,15 @@ impl L1Config {
     /// Panics if no bank is present, or a predictor placement is configured
     /// without an STT bank.
     pub fn validate(&self) {
-        assert!(self.sram.is_some() || self.stt.is_some(), "L1 needs at least one bank");
+        assert!(
+            self.sram.is_some() || self.stt.is_some(),
+            "L1 needs at least one bank"
+        );
         if matches!(self.placement, Placement::Predictor(_)) {
-            assert!(self.stt.is_some(), "predicted placement requires an STT bank");
+            assert!(
+                self.stt.is_some(),
+                "predicted placement requires an STT bank"
+            );
         }
     }
 }
@@ -228,9 +237,21 @@ impl L1Preset {
             mshr_entries: 32,
             mshr_targets: 8,
         };
-        let sram_32k_4w = SramGeometry { sets: 64, ways: 4, params: BankParams::sram_32kb() };
-        let sram_32k_fa = SramGeometry { sets: 1, ways: 256, params: BankParams::sram_32kb() };
-        let sram_16k_2w = SramGeometry { sets: 64, ways: 2, params: BankParams::sram_16kb() };
+        let sram_32k_4w = SramGeometry {
+            sets: 64,
+            ways: 4,
+            params: BankParams::sram_32kb(),
+        };
+        let sram_32k_fa = SramGeometry {
+            sets: 1,
+            ways: 256,
+            params: BankParams::sram_32kb(),
+        };
+        let sram_16k_2w = SramGeometry {
+            sets: 64,
+            ways: 2,
+            params: BankParams::sram_16kb(),
+        };
         let stt_128k_4w = SttGeometry {
             organization: SttOrganization::SetAssoc { sets: 256, ways: 4 },
             params: BankParams::stt_128kb(),
@@ -309,7 +330,10 @@ impl std::fmt::Display for L1Preset {
 /// cannot be tiled (SRAM lines not divisible into power-of-two sets, STT
 /// lines not divisible into 4-line CBF partitions).
 pub fn dy_fuse_with_ratio(sram_num: u64, sram_den: u64) -> L1Config {
-    assert!(sram_num > 0 && sram_num < sram_den, "SRAM fraction must be in (0,1)");
+    assert!(
+        sram_num > 0 && sram_num < sram_den,
+        "SRAM fraction must be in (0,1)"
+    );
     let budget: u64 = 32 * 1024;
     let sram_bytes = budget * sram_num / sram_den;
     let stt_bytes = (budget - sram_bytes) * 4;
@@ -319,12 +343,15 @@ pub fn dy_fuse_with_ratio(sram_num: u64, sram_den: u64) -> L1Config {
     // Keep 2-way SRAM when lines/2 is a power of two; otherwise grow the
     // associativity until the set count is (e.g. 24 KB -> 64 sets x 3 ways).
     let (sets, ways) = (1..=8usize)
-        .filter(|w| sram_lines % w == 0 && (sram_lines / w).is_power_of_two())
+        .filter(|w| sram_lines.is_multiple_of(*w) && (sram_lines / w).is_power_of_two())
         .map(|w| (sram_lines / w, w))
         .find(|&(_, w)| w >= 2)
         .unwrap_or_else(|| panic!("cannot tile {sram_lines} SRAM lines into sets"));
 
-    assert!(stt_lines % 4 == 0, "STT lines must tile into 4-line partitions");
+    assert!(
+        stt_lines.is_multiple_of(4),
+        "STT lines must tile into 4-line partitions"
+    );
     let approx = ApproxConfig {
         lines: stt_lines,
         num_cbfs: stt_lines / 4,
@@ -362,7 +389,11 @@ pub fn dy_fuse_with_ratio(sram_num: u64, sram_den: u64) -> L1Config {
 pub fn edram_dy_fuse(clock_ghz: f64) -> L1Config {
     let mut cfg = L1Preset::DyFuse.config();
     let lines = 256usize; // 16 KB x 2 density / 128 B
-    let approx = ApproxConfig { lines, num_cbfs: lines / 4, ..ApproxConfig::default() };
+    let approx = ApproxConfig {
+        lines,
+        num_cbfs: lines / 4,
+        ..ApproxConfig::default()
+    };
     cfg.stt = Some(SttGeometry {
         organization: SttOrganization::Approximate(approx),
         params: BankParams::edram_for_capacity(lines as u64 * 128),
@@ -436,13 +467,21 @@ mod tests {
 
     #[test]
     fn ratio_sweep_geometries() {
-        for (num, den, sram_kb, stt_kb) in
-            [(1, 16, 2, 120), (1, 8, 4, 112), (1, 4, 8, 96), (1, 2, 16, 64), (3, 4, 24, 32)]
-        {
+        for (num, den, sram_kb, stt_kb) in [
+            (1, 16, 2, 120),
+            (1, 8, 4, 112),
+            (1, 4, 8, 96),
+            (1, 2, 16, 64),
+            (3, 4, 24, 32),
+        ] {
             let c = dy_fuse_with_ratio(num, den);
             let s = c.sram.unwrap();
             assert_eq!(s.sets * s.ways * 128, sram_kb * 1024, "{num}/{den} SRAM");
-            assert_eq!(c.stt.unwrap().organization.lines() * 128, stt_kb * 1024, "{num}/{den} STT");
+            assert_eq!(
+                c.stt.unwrap().organization.lines() * 128,
+                stt_kb * 1024,
+                "{num}/{den} STT"
+            );
         }
     }
 
@@ -471,10 +510,17 @@ mod tests {
         let cfg = edram_dy_fuse(0.7);
         cfg.validate();
         let stt = cfg.stt.unwrap();
-        assert_eq!(stt.organization.lines(), 256, "eDRAM: half the STT capacity");
+        assert_eq!(
+            stt.organization.lines(),
+            256,
+            "eDRAM: half the STT capacity"
+        );
         let r = stt.refresh.expect("eDRAM must refresh");
         assert_eq!(r.interval_cycles, 28_000);
-        assert!(matches!(stt.params.technology, fuse_mem::tech::MemTechnology::EDram));
+        assert!(matches!(
+            stt.params.technology,
+            fuse_mem::tech::MemTechnology::EDram
+        ));
     }
 
     #[test]

@@ -215,7 +215,9 @@ impl FuseL1 {
             self.push_outgoing(entry.line, OutgoingKind::WriteThrough);
         }
         if self.predictor.is_some() {
-            self.metrics.accuracy.record(aux_class(entry.aux), aux_writes(entry.aux));
+            self.metrics
+                .accuracy
+                .record(aux_class(entry.aux), aux_writes(entry.aux));
         }
     }
 
@@ -254,7 +256,11 @@ impl FuseL1 {
                     self.finalize_eviction(entry);
                     return;
                 }
-                swap.push(SwapEntry { line: entry.line, dirty: entry.dirty, aux: entry.aux });
+                swap.push(SwapEntry {
+                    line: entry.line,
+                    dirty: entry.dirty,
+                    aux: entry.aux,
+                });
                 tq.push(TagCmd {
                     kind: TagCmdKind::Migrate,
                     line: entry.line,
@@ -293,7 +299,9 @@ impl FuseL1 {
     /// outcome, `Ok(None)` on a miss, `Err(())` when the access must be
     /// retried (queue full).
     fn probe_stt(&mut self, now: u64, acc: &L1Access, sig: u16) -> Result<Option<L1Outcome>, ()> {
-        let Some(stt) = self.stt.as_mut() else { return Ok(None) };
+        let Some(stt) = self.stt.as_mut() else {
+            return Ok(None);
+        };
         let (hit_entry, search_cycles) = match stt {
             SttStore::SetAssoc(tags) => (tags.probe(acc.line), 0u32),
             SttStore::Approx(store) => {
@@ -303,11 +311,12 @@ impl FuseL1 {
                 (probe.way, probe.search_cycles)
             }
         };
-        let Some(slot_or_idx) = hit_entry else { return Ok(None) };
+        let Some(slot_or_idx) = hit_entry else {
+            return Ok(None);
+        };
 
         if acc.is_store {
-            let migrate_to_sram =
-                self.predictor.is_some() && self.sram.is_some();
+            let migrate_to_sram = self.predictor.is_some() && self.sram.is_some();
             if migrate_to_sram {
                 // Fig. 9: a write hitting STT data is a WM misprediction —
                 // pull the line into SRAM before serving the store.
@@ -397,7 +406,11 @@ impl FuseL1 {
 
     fn handle_miss(&mut self, _now: u64, acc: &L1Access, sig: u16) -> L1Outcome {
         let class = self.classify(sig);
-        let dead = self.dead.as_ref().map(|d| d.predict_dead(sig)).unwrap_or(false);
+        let dead = self
+            .dead
+            .as_ref()
+            .map(|d| d.predict_dead(sig))
+            .unwrap_or(false);
         let bypass = dead || class == ReadLevel::Woro;
         let outstanding = self.mshr.contains(acc.line);
 
@@ -418,7 +431,11 @@ impl FuseL1 {
                 _ => FillDest::Stt,
             }
         };
-        let target = MshrTarget { warp: acc.warp, is_store: acc.is_store, pc_sig: sig };
+        let target = MshrTarget {
+            warp: acc.warp,
+            is_store: acc.is_store,
+            pc_sig: sig,
+        };
         match self.mshr.allocate(acc.line, target, dest) {
             MshrOutcome::NewMiss => {
                 self.stats.misses += 1;
@@ -518,7 +535,10 @@ impl FuseL1 {
         let Some((dest, targets)) = self.mshr.complete(rsp.line) else {
             return; // stray response (cannot happen in-system)
         };
-        let class = self.miss_class.remove(&rsp.line).unwrap_or(ReadLevel::Neutral);
+        let class = self
+            .miss_class
+            .remove(&rsp.line)
+            .unwrap_or(ReadLevel::Neutral);
         let store_count = targets.iter().filter(|t| t.is_store).count() as u32;
         let sig = targets.first().map(|t| t.pc_sig).unwrap_or(0);
         let write_through = self.cfg.write_policy == WritePolicy::WriteThrough;
@@ -565,7 +585,9 @@ impl L1dModel for FuseL1 {
     fn tick(&mut self, now: u64) {
         // Volatile (eDRAM) banks: periodic refresh occupies the bank.
         if now >= self.next_refresh_at {
-            let r = self.stt_refresh.expect("refresh scheduled only when configured");
+            let r = self
+                .stt_refresh
+                .expect("refresh scheduled only when configured");
             self.stt_busy_until = self.stt_busy_until.max(now) + r.busy_cycles;
             self.metrics.refresh_events += 1;
             self.next_refresh_at += r.interval_cycles;
@@ -593,19 +615,21 @@ impl L1dModel for FuseL1 {
             if let Some(cmd) = cmd {
                 match cmd.kind {
                     TagCmdKind::Read => {
-                        let ready =
-                            now + cmd.extra_cycles as u64 + self.stt_read_lat as u64;
+                        let ready = now + cmd.extra_cycles as u64 + self.stt_read_lat as u64;
                         self.stt_busy_until = ready;
                         self.pending_reads.push((cmd.warp, ready));
                     }
                     TagCmdKind::Migrate | TagCmdKind::Fill => {
+                        // Pop the matching swap register by line, not by
+                        // FIFO position: a write-update flush replays its
+                        // "F" commands behind entries queued meanwhile, so
+                        // head-of-queue and head-of-buffer can diverge.
                         let entry = self
                             .swap
                             .as_mut()
                             .expect("migrations require a swap buffer")
-                            .pop_front()
-                            .expect("tag queue and swap buffer are FIFO-aligned");
-                        debug_assert_eq!(entry.line, cmd.line, "swap/queue desync");
+                            .remove(cmd.line)
+                            .expect("migration command without a parked line");
                         self.insert_into_stt(now, entry.line, entry.dirty, entry.aux);
                     }
                 }
@@ -662,11 +686,21 @@ mod tests {
     use crate::config::L1Preset;
 
     fn load(warp: u16, pc: u32, line: u64) -> L1Access {
-        L1Access { warp, pc, line: LineAddr(line), is_store: false }
+        L1Access {
+            warp,
+            pc,
+            line: LineAddr(line),
+            is_store: false,
+        }
     }
 
     fn store(warp: u16, pc: u32, line: u64) -> L1Access {
-        L1Access { warp, pc, line: LineAddr(line), is_store: true }
+        L1Access {
+            warp,
+            pc,
+            line: LineAddr(line),
+            is_store: true,
+        }
     }
 
     /// Completes all outstanding fills immediately, like a zero-latency L2.
@@ -675,14 +709,25 @@ mod tests {
         l1.drain_outgoing(&mut out);
         for r in out {
             if r.kind.expects_response() {
-                l1.push_response(now, L1Response { id: r.id, line: r.line });
+                l1.push_response(
+                    now,
+                    L1Response {
+                        id: r.id,
+                        line: r.line,
+                    },
+                );
             }
         }
     }
 
     #[test]
     fn aux_packing_roundtrip() {
-        for class in [ReadLevel::Wm, ReadLevel::Worm, ReadLevel::Woro, ReadLevel::Neutral] {
+        for class in [
+            ReadLevel::Wm,
+            ReadLevel::Worm,
+            ReadLevel::Woro,
+            ReadLevel::Neutral,
+        ] {
             for writes in [0u32, 1, 5, 63, 100] {
                 for sig in [0u16, 511, 1023] {
                     let aux = pack_aux(class, writes, sig);
@@ -733,7 +778,10 @@ mod tests {
         // Fill SRAM (SramFirst placement) then force an eviction cascade
         // towards STT: lines 0, 64, 128 share SRAM set 0 (64 sets, 2 ways).
         for (t, line) in [0u64, 64, 128, 192].iter().enumerate() {
-            assert_ne!(l1.access(t as u64, load(0, 0x40, *line)), L1Outcome::ReservationFail);
+            assert_ne!(
+                l1.access(t as u64, load(0, 0x40, *line)),
+                L1Outcome::ReservationFail
+            );
             feed_fills(&mut l1, t as u64);
         }
         // Victims migrated through the swap buffer, not a stall.
@@ -763,7 +811,10 @@ mod tests {
         }
         let mut done = Vec::new();
         l1.drain_completions(&mut done);
-        assert!(done.contains(&3), "STT hit must complete through the tag queue");
+        assert!(
+            done.contains(&3),
+            "STT hit must complete through the tag queue"
+        );
     }
 
     #[test]
@@ -809,7 +860,9 @@ mod tests {
             l1.tick(i);
         }
         assert_eq!(
-            l1.predictor().unwrap().classify(ReadLevelPredictor::pc_signature(0x90)),
+            l1.predictor()
+                .unwrap()
+                .classify(ReadLevelPredictor::pc_signature(0x90)),
             ReadLevel::Worm
         );
         // New WORM-classified line goes to STT.
@@ -820,9 +873,16 @@ mod tests {
         }
         // A store now hits STT: must migrate into SRAM and serve from there.
         let before = l1.metrics().migrations_to_sram;
-        assert_eq!(l1.access(320, store(2, 0x94, 7_777)), L1Outcome::StoreAccepted);
+        assert_eq!(
+            l1.access(320, store(2, 0x94, 7_777)),
+            L1Outcome::StoreAccepted
+        );
         assert_eq!(l1.metrics().migrations_to_sram, before + 1);
-        assert_eq!(l1.access(321, load(2, 0x94, 7_777)), L1Outcome::HitNow, "now in SRAM");
+        assert_eq!(
+            l1.access(321, load(2, 0x94, 7_777)),
+            L1Outcome::HitNow,
+            "now in SRAM"
+        );
     }
 
     #[test]
@@ -839,7 +899,10 @@ mod tests {
             feed_fills(&mut l1, now);
             bypassed_before = l1.metrics().bypassed_stores;
         }
-        assert!(bypassed_before > 0, "dead-write predictor must trigger bypasses");
+        assert!(
+            bypassed_before > 0,
+            "dead-write predictor must trigger bypasses"
+        );
         assert!(l1.stats().bypasses > 0);
     }
 

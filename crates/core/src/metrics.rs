@@ -104,10 +104,12 @@ mod tests {
     #[test]
     fn merge_accumulates_everything() {
         let mut a = L1Metrics::default();
-        let mut b = L1Metrics::default();
-        b.stt_busy_rejections = 2;
-        b.tag_queue_full_rejections = 3;
-        b.migrations_to_stt = 4;
+        let mut b = L1Metrics {
+            stt_busy_rejections: 2,
+            tag_queue_full_rejections: 3,
+            migrations_to_stt: 4,
+            ..L1Metrics::default()
+        };
         b.accuracy.record(ReadLevel::Worm, 1);
         b.cbf.tests = 7;
         a.merge(&b);

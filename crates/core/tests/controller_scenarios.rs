@@ -8,11 +8,21 @@ use fuse_core::controller::FuseL1;
 use fuse_gpu::l1d::{L1Access, L1Outcome, L1Response, L1dModel, OutgoingKind};
 
 fn load(warp: u16, pc: u32, line: u64) -> L1Access {
-    L1Access { warp, pc, line: LineAddr(line), is_store: false }
+    L1Access {
+        warp,
+        pc,
+        line: LineAddr(line),
+        is_store: false,
+    }
 }
 
 fn store(warp: u16, pc: u32, line: u64) -> L1Access {
-    L1Access { warp, pc, line: LineAddr(line), is_store: true }
+    L1Access {
+        warp,
+        pc,
+        line: LineAddr(line),
+        is_store: true,
+    }
 }
 
 /// Answers every outstanding read this cycle, like a zero-latency L2.
@@ -24,7 +34,13 @@ fn feed(l1: &mut FuseL1, now: u64) -> (u64, u64) {
     for r in out {
         if r.kind.expects_response() {
             reads += 1;
-            l1.push_response(now, L1Response { id: r.id, line: r.line });
+            l1.push_response(
+                now,
+                L1Response {
+                    id: r.id,
+                    line: r.line,
+                },
+            );
         } else {
             writes += 1;
         }
@@ -38,25 +54,40 @@ fn writeback_of_dirty_victims_reaches_l2() {
     // conflict them out: every eviction must emit a WriteThrough.
     let mut l1 = FuseL1::new(L1Preset::L1Sram.config());
     for (t, line) in [0u64, 64, 128, 192].iter().enumerate() {
-        assert_eq!(l1.access(t as u64, store(0, 0x40, *line)), L1Outcome::StoreAccepted);
+        assert_eq!(
+            l1.access(t as u64, store(0, 0x40, *line)),
+            L1Outcome::StoreAccepted
+        );
         feed(&mut l1, t as u64);
     }
     // Four more conflicting fills evict the four dirty lines.
     let mut writebacks = 0;
     for (t, line) in [256u64, 320, 384, 448].iter().enumerate() {
         let now = 10 + t as u64;
-        assert_ne!(l1.access(now, load(1, 0x44, *line)), L1Outcome::ReservationFail);
+        assert_ne!(
+            l1.access(now, load(1, 0x44, *line)),
+            L1Outcome::ReservationFail
+        );
         let mut out = Vec::new();
         l1.drain_outgoing(&mut out);
         for r in &out {
             if r.kind == OutgoingKind::FillRead {
-                l1.push_response(now, L1Response { id: r.id, line: r.line });
+                l1.push_response(
+                    now,
+                    L1Response {
+                        id: r.id,
+                        line: r.line,
+                    },
+                );
             }
         }
         // The fill may trigger the writeback a step later.
         let mut out2 = Vec::new();
         l1.drain_outgoing(&mut out2);
-        writebacks += out2.iter().filter(|r| r.kind == OutgoingKind::WriteThrough).count();
+        writebacks += out2
+            .iter()
+            .filter(|r| r.kind == OutgoingKind::WriteThrough)
+            .count();
     }
     assert_eq!(writebacks, 4, "every dirty victim must be written back");
     assert_eq!(l1.stats().writebacks, 4);
@@ -120,8 +151,18 @@ fn bypass_read_does_not_allocate() {
     let mut out = Vec::new();
     l1.drain_outgoing(&mut out);
     assert_eq!(out.len(), 1);
-    assert_eq!(out[0].kind, OutgoingKind::BypassRead, "trained WORO load must bypass");
-    l1.push_response(5000, L1Response { id: out[0].id, line: LineAddr(probe_line) });
+    assert_eq!(
+        out[0].kind,
+        OutgoingKind::BypassRead,
+        "trained WORO load must bypass"
+    );
+    l1.push_response(
+        5000,
+        L1Response {
+            id: out[0].id,
+            line: LineAddr(probe_line),
+        },
+    );
     let mut done = Vec::new();
     l1.drain_completions(&mut done);
     assert_eq!(done, vec![0], "bypassed load still completes");
@@ -159,7 +200,13 @@ fn oracle_and_presets_share_instruction_semantics() {
     let mut out = Vec::new();
     l1.drain_outgoing(&mut out);
     assert_eq!(out.len(), 1);
-    l1.push_response(1, L1Response { id: out[0].id, line: LineAddr(42) });
+    l1.push_response(
+        1,
+        L1Response {
+            id: out[0].id,
+            line: LineAddr(42),
+        },
+    );
     let mut done = Vec::new();
     l1.drain_completions(&mut done);
     assert_eq!(done, vec![3]);
@@ -173,7 +220,7 @@ fn stt_only_write_then_read_round_trip() {
     let mut l1 = FuseL1::new(L1Preset::SttOnly.config());
     assert_eq!(l1.access(0, store(0, 0x10, 5)), L1Outcome::StoreAccepted);
     feed(&mut l1, 0); // fill applies, bank busy for the 5-cycle write
-    // Wait out the write, then read it back from STT.
+                      // Wait out the write, then read it back from STT.
     for now in 1..10 {
         l1.tick(now);
     }

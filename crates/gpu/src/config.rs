@@ -65,7 +65,10 @@ impl GpuConfig {
             icnt_latency: 40,
             icnt_flits_per_cycle: 16,
             dram_channels: 6,
-            dram: DramTiming { burst: 2, ..DramTiming::default() },
+            dram: DramTiming {
+                burst: 2,
+                ..DramTiming::default()
+            },
             clock_ghz: 0.7,
             scheduler: SchedulerPolicy::Lrr,
             active_warp_limit: None,
@@ -89,7 +92,10 @@ impl GpuConfig {
             icnt_latency: 40,
             icnt_flits_per_cycle: 96,
             dram_channels: 24,
-            dram: DramTiming { burst: 2, ..DramTiming::default() },
+            dram: DramTiming {
+                burst: 2,
+                ..DramTiming::default()
+            },
             clock_ghz: 1.4,
             scheduler: SchedulerPolicy::Lrr,
             active_warp_limit: None,
@@ -119,13 +125,19 @@ impl GpuConfig {
     /// Panics on inconsistent geometry (zero SMs/warps, L2 banks not a
     /// multiple of DRAM channels, non-power-of-two L2 sets).
     pub fn validate(&self) {
-        assert!(self.num_sms > 0 && self.warps_per_sm > 0, "need SMs and warps");
+        assert!(
+            self.num_sms > 0 && self.warps_per_sm > 0,
+            "need SMs and warps"
+        );
         assert!(self.threads_per_warp == 32, "CUDA warps have 32 lanes");
         assert!(
-            self.l2_banks % self.dram_channels == 0,
+            self.l2_banks.is_multiple_of(self.dram_channels),
             "L2 banks must spread evenly over DRAM channels"
         );
-        assert!(self.l2_sets.is_power_of_two(), "L2 sets must be a power of two");
+        assert!(
+            self.l2_sets.is_power_of_two(),
+            "L2 sets must be a power of two"
+        );
         if let Some(limit) = self.active_warp_limit {
             assert!(limit > 0, "warp throttling needs at least one active warp");
         }
@@ -174,7 +186,10 @@ mod tests {
         for b in 0..c.l2_banks {
             per_channel[c.dram_channel_of_bank(b)] += 1;
         }
-        assert!(per_channel.iter().all(|&n| n == 2), "two L2 banks per channel");
+        assert!(
+            per_channel.iter().all(|&n| n == 2),
+            "two L2 banks per channel"
+        );
     }
 
     #[test]

@@ -124,7 +124,18 @@ impl Interconnect {
 
     /// Advances one cycle: injects as many whole packets as the bandwidth
     /// allows and returns everything that completed traversal.
+    ///
+    /// Convenience wrapper over [`Interconnect::tick_into`] for tests and
+    /// examples; the engine's hot path recycles its own buffer instead.
     pub fn tick(&mut self, now: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Advances one cycle, appending every packet that completed traversal
+    /// to the caller-owned `out`.
+    pub fn tick_into(&mut self, now: u64, out: &mut Vec<Packet>) {
         self.stats.cycles += 1;
         self.stats.queue_depth_sum += self.inject.len() as u64;
         let mut budget = self.flits_per_cycle;
@@ -136,14 +147,12 @@ impl Interconnect {
             let p = self.inject.pop_front().expect("front exists");
             self.in_flight.push_back((now + self.latency as u64, p));
         }
-        let mut out = Vec::new();
         while let Some(&(at, _)) = self.in_flight.front() {
             if at > now {
                 break;
             }
             out.push(self.in_flight.pop_front().expect("front exists").1);
         }
-        out
     }
 
     /// True when nothing is queued or in flight.

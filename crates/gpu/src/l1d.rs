@@ -172,13 +172,21 @@ impl L1dModel for IdealL1 {
             self.energy.sram_reads += 1;
             return L1Outcome::HitNow;
         }
-        let target = MshrTarget { warp: acc.warp, is_store: acc.is_store, pc_sig: 0 };
+        let target = MshrTarget {
+            warp: acc.warp,
+            is_store: acc.is_store,
+            pc_sig: 0,
+        };
         match self.mshr.allocate(acc.line, target, FillDest::Sram) {
             MshrOutcome::NewMiss => {
                 self.stats.misses += 1;
                 let id = self.next_id;
                 self.next_id += 1;
-                self.outgoing.push(OutgoingReq { id, line: acc.line, kind: OutgoingKind::FillRead });
+                self.outgoing.push(OutgoingReq {
+                    id,
+                    line: acc.line,
+                    kind: OutgoingKind::FillRead,
+                });
                 if acc.is_store {
                     L1Outcome::StoreAccepted
                 } else {
@@ -240,7 +248,12 @@ mod tests {
     use super::*;
 
     fn load(line: u64) -> L1Access {
-        L1Access { warp: 1, pc: 0, line: LineAddr(line), is_store: false }
+        L1Access {
+            warp: 1,
+            pc: 0,
+            line: LineAddr(line),
+            is_store: false,
+        }
     }
 
     #[test]
@@ -251,7 +264,13 @@ mod tests {
         l1.drain_outgoing(&mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].kind, OutgoingKind::FillRead);
-        l1.push_response(10, L1Response { id: out[0].id, line: LineAddr(5) });
+        l1.push_response(
+            10,
+            L1Response {
+                id: out[0].id,
+                line: LineAddr(5),
+            },
+        );
         let mut done = Vec::new();
         l1.drain_completions(&mut done);
         assert_eq!(done, vec![1]);
@@ -272,7 +291,13 @@ mod tests {
         let mut out = Vec::new();
         l1.drain_outgoing(&mut out);
         assert_eq!(out.len(), 1, "merged miss must not create traffic");
-        l1.push_response(5, L1Response { id: out[0].id, line: LineAddr(7) });
+        l1.push_response(
+            5,
+            L1Response {
+                id: out[0].id,
+                line: LineAddr(7),
+            },
+        );
         let mut done = Vec::new();
         l1.drain_completions(&mut done);
         assert_eq!(done.len(), 2, "both warps wake");
@@ -281,12 +306,23 @@ mod tests {
     #[test]
     fn stores_never_block() {
         let mut l1 = IdealL1::new();
-        let st = L1Access { warp: 0, pc: 0, line: LineAddr(3), is_store: true };
+        let st = L1Access {
+            warp: 0,
+            pc: 0,
+            line: LineAddr(3),
+            is_store: true,
+        };
         assert_eq!(l1.access(0, st), L1Outcome::StoreAccepted);
         let mut done = Vec::new();
         let mut out = Vec::new();
         l1.drain_outgoing(&mut out);
-        l1.push_response(5, L1Response { id: out[0].id, line: LineAddr(3) });
+        l1.push_response(
+            5,
+            L1Response {
+                id: out[0].id,
+                line: LineAddr(3),
+            },
+        );
         l1.drain_completions(&mut done);
         assert!(done.is_empty(), "stores produce no warp completions");
     }

@@ -15,6 +15,10 @@ use fuse_cache::stats::CacheStats;
 use fuse_cache::tag_array::TagArray;
 
 /// Everything a slice produced this cycle.
+///
+/// Callers own the buffer and pass it to [`L2Bank::tick`] /
+/// [`L2Bank::dram_fill`], which *append*; recycling one `L2Output` across
+/// cycles keeps the engine's hot path allocation-free.
 #[derive(Debug, Default)]
 pub struct L2Output {
     /// Read responses heading back to SMs.
@@ -23,6 +27,20 @@ pub struct L2Output {
     pub dram_reads: Vec<LineAddr>,
     /// Lines to write to DRAM (dirty evictions).
     pub dram_writes: Vec<LineAddr>,
+}
+
+impl L2Output {
+    /// Empties all three lists, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.responses.clear();
+        self.dram_reads.clear();
+        self.dram_writes.clear();
+    }
+
+    /// True when nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty() && self.dram_reads.is_empty() && self.dram_writes.is_empty()
+    }
 }
 
 /// One L2 slice.
@@ -35,16 +53,17 @@ pub struct L2Output {
 /// use fuse_gpu::l1d::OutgoingKind;
 /// use fuse_cache::line::LineAddr;
 ///
+/// use fuse_gpu::l2::L2Output;
+///
 /// let mut bank = L2Bank::new(64, 8, 30, 32);
 /// let p = Packet { gid: 1, sm: 0, bank: 0, line: LineAddr(7),
 ///                  kind: OutgoingKind::FillRead, flits: 1 };
 /// bank.enqueue(p, 0);
-/// let mut reads = Vec::new();
+/// let mut out = L2Output::default(); // reused across cycles
 /// for now in 0..40 {
-///     let out = bank.tick(now);
-///     reads.extend(out.dram_reads);
+///     bank.tick(now, &mut out);
 /// }
-/// assert_eq!(reads, vec![LineAddr(7)]); // cold miss goes to DRAM
+/// assert_eq!(out.dram_reads, vec![LineAddr(7)]); // cold miss goes to DRAM
 /// ```
 #[derive(Debug)]
 pub struct L2Bank {
@@ -85,6 +104,12 @@ impl L2Bank {
         self.inbox.is_empty() && self.pending.is_empty()
     }
 
+    /// Packets waiting in the service pipeline. The engine skips ticking
+    /// a slice whose inbox is empty — such a tick is a no-op.
+    pub fn queued_packets(&self) -> usize {
+        self.inbox.len()
+    }
+
     /// Total bank accesses (for the energy model).
     pub fn accesses(&self) -> u64 {
         self.accesses
@@ -100,22 +125,21 @@ impl L2Bank {
         self.retries
     }
 
-    /// Services at most one packet whose pipeline delay elapsed.
-    pub fn tick(&mut self, now: u64) -> L2Output {
-        let mut out = L2Output::default();
+    /// Services at most one packet whose pipeline delay elapsed, appending
+    /// everything produced to the caller-owned `out`.
+    pub fn tick(&mut self, now: u64, out: &mut L2Output) {
         let ready = matches!(self.inbox.front(), Some(&(at, _)) if at <= now);
         if !ready {
-            return out;
+            return;
         }
         let (_, packet) = self.inbox.pop_front().expect("front exists");
         self.accesses += 1;
         match packet.kind {
-            OutgoingKind::WriteThrough => self.service_write(packet, &mut out),
+            OutgoingKind::WriteThrough => self.service_write(packet, out),
             OutgoingKind::FillRead | OutgoingKind::BypassRead => {
-                self.service_read(packet, now, &mut out)
+                self.service_read(packet, now, out)
             }
         }
-        out
     }
 
     fn service_write(&mut self, packet: Packet, out: &mut L2Output) {
@@ -206,10 +230,7 @@ mod tests {
     fn run(bank: &mut L2Bank, cycles: u64) -> L2Output {
         let mut all = L2Output::default();
         for now in 0..cycles {
-            let o = bank.tick(now);
-            all.responses.extend(o.responses);
-            all.dram_reads.extend(o.dram_reads);
-            all.dram_writes.extend(o.dram_writes);
+            bank.tick(now, &mut all);
         }
         all
     }
@@ -230,9 +251,7 @@ mod tests {
         let out = {
             let mut all = L2Output::default();
             for now in 20..30 {
-                let o = bank.tick(now);
-                all.responses.extend(o.responses);
-                all.dram_reads.extend(o.dram_reads);
+                bank.tick(now, &mut all);
             }
             all
         };
@@ -258,10 +277,13 @@ mod tests {
     fn pipeline_latency_is_respected() {
         let mut bank = L2Bank::new(16, 4, 30, 8);
         bank.enqueue(read(1, 3), 0);
+        let mut out = L2Output::default();
         for now in 0..30 {
-            assert!(bank.tick(now).dram_reads.is_empty(), "too early at {now}");
+            bank.tick(now, &mut out);
+            assert!(out.dram_reads.is_empty(), "too early at {now}");
         }
-        assert_eq!(bank.tick(30).dram_reads.len(), 1);
+        bank.tick(30, &mut out);
+        assert_eq!(out.dram_reads.len(), 1);
     }
 
     #[test]
@@ -288,7 +310,11 @@ mod tests {
         let mut o = L2Output::default();
         bank.dram_fill(LineAddr(1), &mut o);
         let out2 = run(&mut bank, 40);
-        assert_eq!(out2.dram_reads.len(), 1, "retry succeeds after fill frees a slot");
+        assert_eq!(
+            out2.dram_reads.len(),
+            1,
+            "retry succeeds after fill frees a slot"
+        );
     }
 
     #[test]
@@ -304,12 +330,10 @@ mod tests {
         // The L1 bypassed it, but L2 keeps a copy (the paper's By-NVM
         // bypass goes "to the underlying L2 cache").
         bank.enqueue(read(2, 4), 10);
-        let mut hit = false;
+        let mut out = L2Output::default();
         for now in 10..20 {
-            if !bank.tick(now).responses.is_empty() {
-                hit = true;
-            }
+            bank.tick(now, &mut out);
         }
-        assert!(hit);
+        assert!(!out.responses.is_empty());
     }
 }

@@ -55,6 +55,7 @@ pub mod config;
 pub mod icnt;
 pub mod l1d;
 pub mod l2;
+pub mod slab;
 pub mod sm;
 pub mod stats;
 pub mod system;
@@ -62,7 +63,7 @@ pub mod warp;
 
 pub use config::GpuConfig;
 pub use l1d::{IdealL1, L1Access, L1Outcome, L1Response, L1dModel, OutgoingKind, OutgoingReq};
+pub use sm::SchedulerPolicy;
 pub use stats::SimStats;
 pub use system::GpuSystem;
-pub use sm::SchedulerPolicy;
 pub use warp::{MemOp, StreamProgram, WarpOp, WarpProgram};

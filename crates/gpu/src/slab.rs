@@ -1,0 +1,148 @@
+//! Slot-reusing arena for in-flight request state.
+//!
+//! The engine used to key in-flight traces and DRAM reads by an
+//! ever-growing id in a `HashMap`; every request then paid two hash +
+//! probe walks on the hot path. A [`Slab`] makes the id *be* the slot
+//! index: insertion pops a free slot (or appends), and lookup/removal is a
+//! bounds-checked vector index. The population stays small (bounded by
+//! in-flight requests), so slots recycle quickly and the table never
+//! grows past the high-water mark of concurrent requests.
+
+/// Sentinel id for requests that never need to be looked up again
+/// (write-through packets, DRAM writes). Never a valid slot.
+pub const NO_SLOT: u64 = u64::MAX;
+
+/// A vector-backed arena whose keys are recycled slot indices.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_gpu::slab::Slab;
+///
+/// let mut slab: Slab<&str> = Slab::new();
+/// let a = slab.insert("alpha");
+/// let b = slab.insert("beta");
+/// assert_eq!(slab.remove(a), Some("alpha"));
+/// let c = slab.insert("gamma"); // recycles slot `a`
+/// assert_eq!(c, a);
+/// assert_eq!(slab.len(), 2);
+/// assert_eq!(slab.get(b), Some(&"beta"));
+/// assert_eq!(slab.get(a), Some(&"gamma"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Stores `value` and returns its slot id (a recycled slot if one is
+    /// free, else a fresh one).
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            let slot = slot as usize;
+            debug_assert!(self.slots[slot].is_none(), "free list held a live slot");
+            self.slots[slot] = Some(value);
+            slot as u64
+        } else {
+            self.slots.push(Some(value));
+            (self.slots.len() - 1) as u64
+        }
+    }
+
+    /// The value at `id`, if live.
+    pub fn get(&self, id: u64) -> Option<&T> {
+        self.slots.get(id as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the value at `id`, if live.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        self.slots.get_mut(id as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Takes the value at `id` out, freeing the slot for reuse.
+    pub fn remove(&mut self, id: u64) -> Option<T> {
+        let value = self.slots.get_mut(id as usize).and_then(Option::take)?;
+        self.len -= 1;
+        self.free.push(id as u32);
+        Some(value)
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entry is live (O(1) — the drain check runs this every
+    /// cycle).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert(10u32);
+        let b = s.insert(20);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&10));
+        assert_eq!(s.get_mut(b).map(|v| std::mem::replace(v, 21)), Some(20));
+        assert_eq!(s.get(b), Some(&21));
+        assert_eq!(s.remove(a), Some(10));
+        assert_eq!(s.remove(a), None, "double remove is safe");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut s = Slab::new();
+        let ids: Vec<u64> = (0..4).map(|i| s.insert(i)).collect();
+        s.remove(ids[1]);
+        s.remove(ids[3]);
+        assert_eq!(s.insert(90), ids[3]);
+        assert_eq!(s.insert(91), ids[1]);
+        assert_eq!(s.insert(92), 4, "exhausted free list grows the table");
+        assert_eq!(s.slots.len(), 5, "high-water mark, not total inserts");
+    }
+
+    #[test]
+    fn empty_is_o1_and_exact() {
+        let mut s = Slab::new();
+        assert!(s.is_empty());
+        let a = s.insert(1);
+        assert!(!s.is_empty());
+        s.remove(a);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn missing_ids_are_none() {
+        let mut s: Slab<u8> = Slab::new();
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.get(NO_SLOT), None);
+        assert_eq!(s.get_mut(7), None);
+        assert_eq!(s.remove(NO_SLOT), None);
+    }
+}

@@ -78,6 +78,11 @@ pub struct Sm {
     warp_limit: usize,
     policy: SchedulerPolicy,
     last_issued: usize,
+    /// Outstanding retirement obligations: one per unfinished warp, plus
+    /// one per outstanding load and per pending line request. Zero iff
+    /// every warp retired, making [`Sm::done`] O(1) so the engine can
+    /// check for drain every cycle.
+    live: u64,
 }
 
 impl std::fmt::Debug for Sm {
@@ -126,6 +131,7 @@ impl Sm {
             warp_limit,
             policy: SchedulerPolicy::Lrr,
             last_issued: 0,
+            live: n as u64,
         }
     }
 
@@ -144,9 +150,15 @@ impl Sm {
         self.stats
     }
 
-    /// True once every warp retired and no loads are outstanding.
+    /// True once every warp retired and no loads are outstanding. O(1):
+    /// the `live` counter tracks the warp scan exactly.
     pub fn done(&self) -> bool {
-        self.warps.iter().all(|w| w.retired())
+        debug_assert_eq!(
+            self.live == 0,
+            self.warps.iter().all(|w| w.retired()),
+            "live counter diverged from warp state"
+        );
+        self.live == 0
     }
 
     /// Moves this cycle's L1 → L2 requests into `out`.
@@ -168,11 +180,14 @@ impl Sm {
             let w = self.completions[i] as usize;
             debug_assert!(self.warps[w].outstanding > 0, "spurious completion");
             self.warps[w].outstanding -= 1;
+            self.live -= 1;
         }
         // Throttling: release slots of retired warps to waiting ones.
         if self.activated < self.warps.len() {
-            let running =
-                self.warps[..self.activated].iter().filter(|w| !w.retired()).count();
+            let running = self.warps[..self.activated]
+                .iter()
+                .filter(|w| !w.retired())
+                .count();
             let free = self.warp_limit.saturating_sub(running);
             self.activated = (self.activated + free).min(self.warps.len());
         }
@@ -183,7 +198,9 @@ impl Sm {
         let n = self.activated;
         // Phase A: a warp still holding the LSU finishes its coalesced
         // access first.
-        if let Some(wi) = (0..n).map(|o| (self.rr + o) % n).find(|&w| !self.warps[w].pending.is_empty())
+        if let Some(wi) = (0..n)
+            .map(|o| (self.rr + o) % n)
+            .find(|&w| !self.warps[w].pending.is_empty())
         {
             if self.issue_pending(now, wi) {
                 self.stats.issue_cycles += 1;
@@ -219,6 +236,7 @@ impl Sm {
             match self.programs[wi].next_op() {
                 None => {
                     self.warps[wi].finished = true;
+                    self.live -= 1;
                     continue; // retiring is free; keep scanning
                 }
                 Some(WarpOp::Compute { cycles }) => {
@@ -233,6 +251,7 @@ impl Sm {
                     self.stats.instructions += 1;
                     self.stats.issue_cycles += 1;
                     let lines = coalesce(&op);
+                    self.live += lines.len() as u64;
                     let w = &mut self.warps[wi];
                     for line in lines {
                         w.pending.push_back((line, op.is_store, op.pc));
@@ -266,13 +285,24 @@ impl Sm {
                 break;
             }
             budget -= 1;
-            let outcome = self.l1.access(now, L1Access { warp: wi as u16, pc, line, is_store });
+            let outcome = self.l1.access(
+                now,
+                L1Access {
+                    warp: wi as u16,
+                    pc,
+                    line,
+                    is_store,
+                },
+            );
             match outcome {
                 L1Outcome::HitNow | L1Outcome::StoreAccepted => {
                     self.warps[wi].pending.pop_front();
+                    self.live -= 1;
                     progress = true;
                 }
                 L1Outcome::Pending => {
+                    // One pending line becomes one outstanding load: the
+                    // warp's retirement obligation count is unchanged.
                     self.warps[wi].pending.pop_front();
                     self.warps[wi].outstanding += 1;
                     progress = true;
@@ -303,7 +333,13 @@ mod tests {
             sm.drain_outgoing(&mut out);
             for r in out {
                 if r.kind.expects_response() {
-                    sm.push_response(now, crate::l1d::L1Response { id: r.id, line: r.line });
+                    sm.push_response(
+                        now,
+                        crate::l1d::L1Response {
+                            id: r.id,
+                            line: r.line,
+                        },
+                    );
                 }
             }
             cycles = now + 1;
@@ -338,7 +374,11 @@ mod tests {
             sm.tick(now);
         }
         assert!(!sm.done());
-        assert_eq!(sm.stats().instructions, 1, "second instruction must not issue");
+        assert_eq!(
+            sm.stats().instructions,
+            1,
+            "second instruction must not issue"
+        );
         assert!(sm.stats().mem_stall_cycles > 40);
     }
 
@@ -424,7 +464,13 @@ mod tests {
                 sm.drain_outgoing(&mut out);
                 for r in out {
                     if r.kind.expects_response() {
-                        sm.push_response(now, crate::l1d::L1Response { id: r.id, line: r.line });
+                        sm.push_response(
+                            now,
+                            crate::l1d::L1Response {
+                                id: r.id,
+                                line: r.line,
+                            },
+                        );
                     }
                 }
                 if sm.done() {
@@ -448,8 +494,7 @@ mod tests {
                 WarpOp::Compute { cycles: 1 },
             ])) as Box<dyn WarpProgram>
         };
-        let mut sm =
-            Sm::with_warp_limit(Box::new(IdealL1::new()), vec![mk(), mk(), mk(), mk()], 1);
+        let mut sm = Sm::with_warp_limit(Box::new(IdealL1::new()), vec![mk(), mk(), mk(), mk()], 1);
         for now in 0..100 {
             sm.tick(now);
             if sm.done() {

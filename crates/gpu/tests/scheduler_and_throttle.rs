@@ -11,7 +11,13 @@ fn workload(sm: usize, warp: u16, ops: usize) -> Box<dyn WarpProgram> {
     let v: Vec<WarpOp> = (0..ops)
         .flat_map(|i| {
             [
-                WarpOp::Mem(MemOp::strided(0x20, false, base + (i as u64 % 8) * 128, 4, 32)),
+                WarpOp::Mem(MemOp::strided(
+                    0x20,
+                    false,
+                    base + (i as u64 % 8) * 128,
+                    4,
+                    32,
+                )),
                 WarpOp::Compute { cycles: 1 },
             ]
         })
@@ -28,9 +34,19 @@ fn run(cfg: GpuConfig) -> fuse_gpu::stats::SimStats {
 
 #[test]
 fn gto_and_lrr_execute_the_same_program() {
-    let base = GpuConfig { num_sms: 2, warps_per_sm: 6, ..GpuConfig::gtx480() };
-    let lrr = run(GpuConfig { scheduler: SchedulerPolicy::Lrr, ..base.clone() });
-    let gto = run(GpuConfig { scheduler: SchedulerPolicy::Gto, ..base });
+    let base = GpuConfig {
+        num_sms: 2,
+        warps_per_sm: 6,
+        ..GpuConfig::gtx480()
+    };
+    let lrr = run(GpuConfig {
+        scheduler: SchedulerPolicy::Lrr,
+        ..base.clone()
+    });
+    let gto = run(GpuConfig {
+        scheduler: SchedulerPolicy::Gto,
+        ..base
+    });
     assert_eq!(lrr.instructions, gto.instructions);
     // Same memory footprint: identical cold misses through an ideal L1.
     assert_eq!(lrr.l1.misses, gto.l1.misses);
@@ -43,18 +59,35 @@ fn gto_preserves_intra_warp_locality_at_least_as_well() {
     // With per-warp private hot lines, GTO's greedy reuse cannot produce
     // more L1 misses than LRR on an ideal (capacity-free) L1 — and both
     // must see every distinct line exactly once.
-    let base = GpuConfig { num_sms: 1, warps_per_sm: 8, ..GpuConfig::gtx480() };
-    let lrr = run(GpuConfig { scheduler: SchedulerPolicy::Lrr, ..base.clone() });
-    let gto = run(GpuConfig { scheduler: SchedulerPolicy::Gto, ..base });
+    let base = GpuConfig {
+        num_sms: 1,
+        warps_per_sm: 8,
+        ..GpuConfig::gtx480()
+    };
+    let lrr = run(GpuConfig {
+        scheduler: SchedulerPolicy::Lrr,
+        ..base.clone()
+    });
+    let gto = run(GpuConfig {
+        scheduler: SchedulerPolicy::Gto,
+        ..base
+    });
     assert_eq!(lrr.l1.misses, 8 * 8, "8 warps x 8 distinct lines");
     assert_eq!(gto.l1.misses, 8 * 8);
 }
 
 #[test]
 fn throttled_system_retires_everything_with_less_parallelism() {
-    let base = GpuConfig { num_sms: 2, warps_per_sm: 8, ..GpuConfig::gtx480() };
+    let base = GpuConfig {
+        num_sms: 2,
+        warps_per_sm: 8,
+        ..GpuConfig::gtx480()
+    };
     let full = run(base.clone());
-    let throttled = run(GpuConfig { active_warp_limit: Some(2), ..base });
+    let throttled = run(GpuConfig {
+        active_warp_limit: Some(2),
+        ..base
+    });
     assert_eq!(full.instructions, throttled.instructions, "same total work");
     assert!(
         throttled.cycles >= full.cycles,
@@ -67,6 +100,9 @@ fn throttled_system_retires_everything_with_less_parallelism() {
 #[test]
 #[should_panic(expected = "at least one active warp")]
 fn zero_warp_throttle_is_rejected() {
-    let cfg = GpuConfig { active_warp_limit: Some(0), ..GpuConfig::gtx480() };
+    let cfg = GpuConfig {
+        active_warp_limit: Some(0),
+        ..GpuConfig::gtx480()
+    };
     cfg.validate();
 }

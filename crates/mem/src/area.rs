@@ -91,7 +91,10 @@ pub fn l1_sram_area() -> AreaReport {
 
     AreaReport {
         components: vec![
-            ComponentArea { name: "data array", transistors: capacity_bits * SRAM_CELL_T },
+            ComponentArea {
+                name: "data array",
+                transistors: capacity_bits * SRAM_CELL_T,
+            },
             ComponentArea {
                 name: "tag array",
                 transistors: sets * ways * TAG_ENTRY_BITS * SRAM_CELL_T,
@@ -110,7 +113,10 @@ pub fn l1_sram_area() -> AreaReport {
                     * (TAG_ENTRY_BITS + COMPARATOR_OVERHEAD_BITS)
                     * COMPARATOR_T_PER_BIT,
             },
-            ComponentArea { name: "decoder", transistors: decoder_transistors(sets) },
+            ComponentArea {
+                name: "decoder",
+                transistors: decoder_transistors(sets),
+            },
         ],
     }
 }
@@ -140,8 +146,7 @@ pub fn dy_fuse_area() -> AreaReport {
     // SRAM keeps 64 sets x 2 ways of 21-bit entries; the fully associative
     // STT bank needs a 27-bit entry per line, held in dual-railed cells for
     // single-cycle compare against the polling comparators (2 T/bit).
-    let tag_array =
-        64 * 2 * TAG_ENTRY_BITS * SRAM_CELL_T + stt_lines * STT_TAG_ENTRY_BITS * 2;
+    let tag_array = 64 * 2 * TAG_ENTRY_BITS * SRAM_CELL_T + stt_lines * STT_TAG_ENTRY_BITS * 2;
 
     // Serialized tag/data access lets Dy-FUSE keep only 2 SRAM sense amps
     // plus a single wide STT amplifier (Table I: 2/2 SRAM, 1/4 STT).
@@ -150,8 +155,7 @@ pub fn dy_fuse_area() -> AreaReport {
     let write_driver =
         2 * sram_io_bits * SRAM_DRIVER_T_PER_BIT + stt_io_bits * STT_DRIVER_T_PER_BIT;
     // 2 SRAM comparators + 4 STT polling comparators.
-    let comparator =
-        6 * (TAG_ENTRY_BITS + COMPARATOR_OVERHEAD_BITS) * COMPARATOR_T_PER_BIT;
+    let comparator = 6 * (TAG_ENTRY_BITS + COMPARATOR_OVERHEAD_BITS) * COMPARATOR_T_PER_BIT;
     // SRAM row decoder plus the STT polling index decoder (32 indices per
     // polling group).
     let decoder = decoder_transistors(64) + decoder_transistors(32);
@@ -168,16 +172,46 @@ pub fn dy_fuse_area() -> AreaReport {
 
     AreaReport {
         components: vec![
-            ComponentArea { name: "data array", transistors: data_array },
-            ComponentArea { name: "tag array", transistors: tag_array },
-            ComponentArea { name: "sense amplifier", transistors: sense_amplifier },
-            ComponentArea { name: "write driver", transistors: write_driver },
-            ComponentArea { name: "comparator", transistors: comparator },
-            ComponentArea { name: "decoder", transistors: decoder },
-            ComponentArea { name: "NVM-CBF", transistors: nvm_cbf },
-            ComponentArea { name: "swap buffer", transistors: swap_buffer },
-            ComponentArea { name: "request queue", transistors: request_queue },
-            ComponentArea { name: "read-level predictor", transistors: predictor },
+            ComponentArea {
+                name: "data array",
+                transistors: data_array,
+            },
+            ComponentArea {
+                name: "tag array",
+                transistors: tag_array,
+            },
+            ComponentArea {
+                name: "sense amplifier",
+                transistors: sense_amplifier,
+            },
+            ComponentArea {
+                name: "write driver",
+                transistors: write_driver,
+            },
+            ComponentArea {
+                name: "comparator",
+                transistors: comparator,
+            },
+            ComponentArea {
+                name: "decoder",
+                transistors: decoder,
+            },
+            ComponentArea {
+                name: "NVM-CBF",
+                transistors: nvm_cbf,
+            },
+            ComponentArea {
+                name: "swap buffer",
+                transistors: swap_buffer,
+            },
+            ComponentArea {
+                name: "request queue",
+                transistors: request_queue,
+            },
+            ComponentArea {
+                name: "read-level predictor",
+                transistors: predictor,
+            },
         ],
     }
 }
@@ -279,10 +313,15 @@ mod tests {
         // The whole point of Table III: CBF + swap buffer + queue + predictor
         // add only a sliver on top of a 1.5 M transistor cache.
         let r = dy_fuse_area();
-        let extras: u64 = ["NVM-CBF", "swap buffer", "request queue", "read-level predictor"]
-            .iter()
-            .map(|n| r.component(n).unwrap().transistors)
-            .sum();
+        let extras: u64 = [
+            "NVM-CBF",
+            "swap buffer",
+            "request queue",
+            "read-level predictor",
+        ]
+        .iter()
+        .map(|n| r.component(n).unwrap().transistors)
+        .sum();
         assert!((extras as f64) < 0.025 * r.total_transistors() as f64);
     }
 
@@ -291,7 +330,10 @@ mod tests {
         let r = dy_fuse_area();
         assert_eq!(r.component("swap buffer").unwrap().transistors, 3_072);
         assert_eq!(r.component("request queue").unwrap().transistors, 15_360);
-        assert_eq!(r.component("read-level predictor").unwrap().transistors, 2_320);
+        assert_eq!(
+            r.component("read-level predictor").unwrap().transistors,
+            2_320
+        );
         assert_eq!(r.component("NVM-CBF").unwrap().transistors, 10_944);
     }
 

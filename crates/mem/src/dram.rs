@@ -186,7 +186,18 @@ impl DramChannel {
     /// Advances the channel to SM cycle `now`, scheduling at most one new
     /// access, and returns every access whose data completed at or before
     /// `now`.
+    ///
+    /// Convenience wrapper over [`DramChannel::tick_into`] for tests and
+    /// examples; simulation engines should recycle a completion buffer.
     pub fn tick(&mut self, now: u64) -> Vec<DramCompletion> {
+        let mut done = Vec::new();
+        self.tick_into(now, &mut done);
+        done
+    }
+
+    /// Advances the channel to SM cycle `now`, appending every access whose
+    /// data completed at or before `now` to the caller-owned `done`.
+    pub fn tick_into(&mut self, now: u64, done: &mut Vec<DramCompletion>) {
         // Start at most one access per cycle; the data bus is reserved for
         // the burst phase only, so bank activates overlap freely.
         if !self.queue.is_empty() {
@@ -196,7 +207,6 @@ impl DramChannel {
                 self.in_service.push(completion);
             }
         }
-        let mut done = Vec::new();
         let mut i = 0;
         while i < self.in_service.len() {
             if self.in_service[i].finished_at <= now {
@@ -205,7 +215,6 @@ impl DramChannel {
                 i += 1;
             }
         }
-        done
     }
 
     /// FR-FCFS-lite: first row-hit within the window whose bank is ready,
@@ -265,7 +274,11 @@ impl DramChannel {
         }
         self.stats.total_latency += data_at - req.arrival;
 
-        DramCompletion { id: req.id, finished_at: data_at, row_hit }
+        DramCompletion {
+            id: req.id,
+            finished_at: data_at,
+            row_hit,
+        }
     }
 }
 
@@ -285,7 +298,12 @@ mod tests {
     fn closed_row_access_latency() {
         let t = DramTiming::default();
         let mut ch = DramChannel::new(t);
-        ch.try_push(DramRequest { id: 1, line: 0, is_write: false, arrival: 0 });
+        ch.try_push(DramRequest {
+            id: 1,
+            line: 0,
+            is_write: false,
+            arrival: 0,
+        });
         let done = drain(&mut ch, 300);
         assert_eq!(done.len(), 1);
         // tRCD + tCL + burst, all x clock_ratio 2 = (12+12+4)*2 = 56.
@@ -297,15 +315,33 @@ mod tests {
     fn row_hit_is_faster_than_row_miss() {
         let t = DramTiming::default();
         let mut ch = DramChannel::new(t);
-        ch.try_push(DramRequest { id: 1, line: 0, is_write: false, arrival: 0 });
-        ch.try_push(DramRequest { id: 2, line: 1, is_write: false, arrival: 0 });
+        ch.try_push(DramRequest {
+            id: 1,
+            line: 0,
+            is_write: false,
+            arrival: 0,
+        });
+        ch.try_push(DramRequest {
+            id: 2,
+            line: 1,
+            is_write: false,
+            arrival: 0,
+        });
         // line in a different row, same bank cadence not guaranteed; use a
         // far line mapping to another row.
-        ch.try_push(DramRequest { id: 3, line: 16 * 8, is_write: false, arrival: 0 });
+        ch.try_push(DramRequest {
+            id: 3,
+            line: 16 * 8,
+            is_write: false,
+            arrival: 0,
+        });
         let done = drain(&mut ch, 2000);
         assert_eq!(done.len(), 3);
         let by_id = |id| done.iter().find(|c| c.id == id).unwrap();
-        assert!(by_id(2).row_hit, "same-row follow-up should hit the open row");
+        assert!(
+            by_id(2).row_hit,
+            "same-row follow-up should hit the open row"
+        );
         assert!(!by_id(1).row_hit);
     }
 
@@ -314,11 +350,26 @@ mod tests {
         let t = DramTiming::default();
         let mut ch = DramChannel::new(t);
         // Open row 0 in bank 0.
-        ch.try_push(DramRequest { id: 1, line: 0, is_write: false, arrival: 0 });
+        ch.try_push(DramRequest {
+            id: 1,
+            line: 0,
+            is_write: false,
+            arrival: 0,
+        });
         let _ = drain(&mut ch, 80);
         // Conflict (row 8 -> bank 0) enqueued before a row-0 hit.
-        ch.try_push(DramRequest { id: 2, line: 16 * 8, is_write: false, arrival: 80 });
-        ch.try_push(DramRequest { id: 3, line: 1, is_write: false, arrival: 80 });
+        ch.try_push(DramRequest {
+            id: 2,
+            line: 16 * 8,
+            is_write: false,
+            arrival: 80,
+        });
+        ch.try_push(DramRequest {
+            id: 3,
+            line: 1,
+            is_write: false,
+            arrival: 80,
+        });
         let mut order = Vec::new();
         for now in 80..2000 {
             for c in ch.tick(now) {
@@ -331,11 +382,29 @@ mod tests {
 
     #[test]
     fn queue_capacity_is_enforced() {
-        let t = DramTiming { queue_capacity: 2, ..DramTiming::default() };
+        let t = DramTiming {
+            queue_capacity: 2,
+            ..DramTiming::default()
+        };
         let mut ch = DramChannel::new(t);
-        assert!(ch.try_push(DramRequest { id: 1, line: 0, is_write: false, arrival: 0 }));
-        assert!(ch.try_push(DramRequest { id: 2, line: 1, is_write: false, arrival: 0 }));
-        assert!(!ch.try_push(DramRequest { id: 3, line: 2, is_write: false, arrival: 0 }));
+        assert!(ch.try_push(DramRequest {
+            id: 1,
+            line: 0,
+            is_write: false,
+            arrival: 0
+        }));
+        assert!(ch.try_push(DramRequest {
+            id: 2,
+            line: 1,
+            is_write: false,
+            arrival: 0
+        }));
+        assert!(!ch.try_push(DramRequest {
+            id: 3,
+            line: 2,
+            is_write: false,
+            arrival: 0
+        }));
         assert_eq!(ch.stats().rejected, 1);
     }
 
@@ -343,19 +412,37 @@ mod tests {
     fn bus_serialises_back_to_back_bursts() {
         let t = DramTiming::default();
         let mut ch = DramChannel::new(t);
-        ch.try_push(DramRequest { id: 1, line: 0, is_write: false, arrival: 0 });
-        ch.try_push(DramRequest { id: 2, line: 1, is_write: false, arrival: 0 });
+        ch.try_push(DramRequest {
+            id: 1,
+            line: 0,
+            is_write: false,
+            arrival: 0,
+        });
+        ch.try_push(DramRequest {
+            id: 2,
+            line: 1,
+            is_write: false,
+            arrival: 0,
+        });
         let done = drain(&mut ch, 500);
         let f1 = done.iter().find(|c| c.id == 1).unwrap().finished_at;
         let f2 = done.iter().find(|c| c.id == 2).unwrap().finished_at;
-        assert!(f2 >= f1 + (t.burst * t.clock_ratio) as u64, "bursts must not overlap");
+        assert!(
+            f2 >= f1 + (t.burst * t.clock_ratio) as u64,
+            "bursts must not overlap"
+        );
     }
 
     #[test]
     fn stats_track_accesses_and_hits() {
         let mut ch = DramChannel::new(DramTiming::default());
         for i in 0..4 {
-            ch.try_push(DramRequest { id: i, line: i, is_write: false, arrival: 0 });
+            ch.try_push(DramRequest {
+                id: i,
+                line: i,
+                is_write: false,
+                arrival: 0,
+            });
         }
         let _ = drain(&mut ch, 1000);
         let s = ch.stats();
@@ -369,8 +456,18 @@ mod tests {
         // Rows map to banks round-robin; rows 0 and 1 live in banks 0 and 1.
         let t = DramTiming::default();
         let mut ch = DramChannel::new(t);
-        ch.try_push(DramRequest { id: 1, line: 0, is_write: false, arrival: 0 });
-        ch.try_push(DramRequest { id: 2, line: 16, is_write: false, arrival: 0 });
+        ch.try_push(DramRequest {
+            id: 1,
+            line: 0,
+            is_write: false,
+            arrival: 0,
+        });
+        ch.try_push(DramRequest {
+            id: 2,
+            line: 16,
+            is_write: false,
+            arrival: 0,
+        });
         let done = drain(&mut ch, 500);
         let f2 = done.iter().find(|c| c.id == 2).unwrap().finished_at;
         // Bank-parallel: second access hides most of its activate behind the

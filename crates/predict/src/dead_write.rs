@@ -80,7 +80,10 @@ impl DeadWritePredictor {
             cfg.table_entries > 0 && cfg.table_entries.is_power_of_two(),
             "table entries must be a power of two"
         );
-        assert!(cfg.bypass_threshold <= 3, "threshold must fit a 2-bit counter");
+        assert!(
+            cfg.bypass_threshold <= 3,
+            "threshold must fit a 2-bit counter"
+        );
         DeadWritePredictor {
             sampler: Sampler::new(cfg.sampler_sets, cfg.sampler_ways),
             table: vec![0; cfg.table_entries],
@@ -94,7 +97,7 @@ impl DeadWritePredictor {
 
     /// Whether `warp` is sampled.
     pub fn is_sampled_warp(&self, warp: u16) -> bool {
-        warp % self.cfg.warp_stride == 0
+        warp.is_multiple_of(self.cfg.warp_stride)
             && (warp / self.cfg.warp_stride) < self.cfg.sampler_sets as u16
     }
 
@@ -104,13 +107,18 @@ impl DeadWritePredictor {
             return;
         }
         let set = (warp / self.cfg.warp_stride) as usize;
-        match self.sampler.observe(set, ReadLevelPredictor::line_tag(line), pc_sig, is_store) {
+        match self
+            .sampler
+            .observe(set, ReadLevelPredictor::line_tag(line), pc_sig, is_store)
+        {
             SampleOutcome::Hit { signature } => {
                 // Re-referenced: the signature's blocks are live.
                 let i = self.idx(signature);
                 self.table[i] = self.table[i].saturating_sub(1);
             }
-            SampleOutcome::Inserted { evicted: Some((signature, used, _)) } if !used => {
+            SampleOutcome::Inserted {
+                evicted: Some((signature, used, _)),
+            } if !used => {
                 // Died untouched: dead write.
                 let i = self.idx(signature);
                 self.table[i] = (self.table[i] + 1).min(3);

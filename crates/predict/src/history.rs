@@ -35,7 +35,11 @@ pub struct HistoryConfig {
 
 impl Default for HistoryConfig {
     fn default() -> Self {
-        HistoryConfig { entries: 1024, unused_threshold: 14, init_counter: 8 }
+        HistoryConfig {
+            entries: 1024,
+            unused_threshold: 14,
+            init_counter: 8,
+        }
     }
 }
 
@@ -79,14 +83,20 @@ impl HistoryTable {
             cfg.entries > 0 && cfg.entries.is_power_of_two(),
             "history entries must be a power of two"
         );
-        assert!(cfg.unused_threshold <= 15, "threshold must fit a 4-bit counter");
+        assert!(
+            cfg.unused_threshold <= 15,
+            "threshold must fit a 4-bit counter"
+        );
         assert!(
             cfg.init_counter > 1 && cfg.init_counter < cfg.unused_threshold,
             "init counter must start in the neutral band"
         );
         HistoryTable {
             entries: vec![
-                HistEntry { counter: cfg.init_counter, write_conf: 0 };
+                HistEntry {
+                    counter: cfg.init_counter,
+                    write_conf: 0
+                };
                 cfg.entries
             ],
             cfg,
@@ -192,7 +202,11 @@ mod tests {
         for _ in 0..100 {
             t.on_sampler_hit(1, false);
         }
-        assert_eq!(t.classify(1), ReadLevel::Worm, "must recover after saturation");
+        assert_eq!(
+            t.classify(1),
+            ReadLevel::Worm,
+            "must recover after saturation"
+        );
     }
 
     #[test]
@@ -218,7 +232,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_entry_count_rejected() {
-        let _ = HistoryTable::new(HistoryConfig { entries: 1000, ..HistoryConfig::default() });
+        let _ = HistoryTable::new(HistoryConfig {
+            entries: 1000,
+            ..HistoryConfig::default()
+        });
     }
 
     #[test]

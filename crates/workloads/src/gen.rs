@@ -15,9 +15,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::Xoshiro256pp;
 use crate::spec::WorkloadSpec;
 use fuse_cache::line::LINE_BYTES;
 use fuse_gpu::warp::{MemOp, WarpOp, WarpProgram};
@@ -37,7 +35,7 @@ fn pc_for(class: usize, variant: u32) -> u32 {
 /// The generator state for one warp.
 pub struct GenProgram {
     spec: WorkloadSpec,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
     warp_uid: u64,
     remaining: usize,
     worm_cursor: u64,
@@ -84,7 +82,7 @@ impl GenProgram {
         spec.validate();
         let warp_uid = (sm as u64) * 64 + warp as u64;
         GenProgram {
-            rng: SmallRng::seed_from_u64(seed_for(&spec, sm, warp)),
+            rng: Xoshiro256pp::seed_from_u64(seed_for(&spec, sm, warp)),
             warp_uid,
             remaining: ops,
             worm_cursor: (warp_uid * 37) % spec.worm_region_lines,
@@ -127,29 +125,29 @@ impl GenProgram {
     fn gen_worm(&mut self, variant: u32) -> MemOp {
         let pc = pc_for(2, variant);
         let region = self.spec.worm_region_lines;
-        if self.recent_len > 0 && self.rng.gen::<f64>() < self.spec.local_reuse {
-            let idx = self.rng.gen_range(0..self.recent_len);
+        if self.recent_len > 0 && self.rng.chance(self.spec.local_reuse) {
+            let idx = self.rng.range_usize(self.recent_len);
             let line = self.recent[idx];
             return self.coalesced(pc, false, line);
         }
-        if self.rng.gen::<f64>() < self.spec.irregularity {
+        if self.rng.chance(self.spec.irregularity) {
             // Column walk: `scatter_lines` rows of the same column pair.
             // With probability `local_reuse` the warp re-walks the previous
             // group (the dot-product loop re-reading its operand block);
             // that is the short-term locality the request sampler observes.
-            let reuse_group = !self.last_scatter.is_empty()
-                && self.rng.gen::<f64>() < self.spec.local_reuse;
+            let reuse_group =
+                !self.last_scatter.is_empty() && self.rng.chance(self.spec.local_reuse);
             if reuse_group {
                 let lines = self.last_scatter.clone();
                 return self.scattered(pc, false, &lines);
             }
             let pitch = self.spec.pitch_lines;
             let rows = (region / pitch).max(1);
-            let col = self.rng.gen_range(0..2u64);
+            let col = self.rng.range_u64(2);
             let k = self.spec.scatter_lines;
             let mut lines = Vec::with_capacity(k);
             for _ in 0..k {
-                let row = self.rng.gen_range(0..rows);
+                let row = self.rng.range_u64(rows);
                 lines.push(WORM_BASE + (row * pitch + col) % region);
             }
             let op = self.scattered(pc, false, &lines);
@@ -167,15 +165,15 @@ impl GenProgram {
     /// request sampler can observe.
     fn gen_read_intensive(&mut self, variant: u32) -> MemOp {
         let pc = pc_for(1, variant);
-        let line = if self.recent_ri_len > 0 && self.rng.gen::<f64>() < 0.6 {
-            self.recent_ri[self.rng.gen_range(0..self.recent_ri_len)]
+        let line = if self.recent_ri_len > 0 && self.rng.chance(0.6) {
+            self.recent_ri[self.rng.range_usize(self.recent_ri_len)]
         } else {
-            let l = RI_BASE + self.rng.gen_range(0..self.spec.ri_region_lines);
+            let l = RI_BASE + self.rng.range_u64(self.spec.ri_region_lines);
             self.recent_ri[self.recent_ri_len % 2] = l;
             self.recent_ri_len = (self.recent_ri_len + 1).min(2);
             l
         };
-        let is_store = self.rng.gen::<f64>() < 0.08;
+        let is_store = self.rng.chance(0.08);
         self.coalesced(pc, is_store, line)
     }
 
@@ -183,8 +181,8 @@ impl GenProgram {
     fn gen_wm(&mut self, variant: u32) -> MemOp {
         let pc = pc_for(0, variant);
         let base = WM_BASE + self.warp_uid * self.spec.wm_region_lines;
-        let line = base + self.rng.gen_range(0..self.spec.wm_region_lines);
-        let is_store = self.rng.gen::<f64>() < 0.8;
+        let line = base + self.rng.range_u64(self.spec.wm_region_lines);
+        let is_store = self.rng.chance(0.8);
         self.coalesced(pc, is_store, line)
     }
 
@@ -194,7 +192,9 @@ impl GenProgram {
     /// would look like reuse to any sampler, which is not what WORO means.
     fn gen_woro(&mut self, variant: u32) -> MemOp {
         let pc = pc_for(3, variant);
-        if self.woro_deferred.len() >= 48 || (!self.woro_deferred.is_empty() && self.rng.gen::<f64>() < 0.3) {
+        if self.woro_deferred.len() >= 48
+            || (!self.woro_deferred.is_empty() && self.rng.chance(0.3))
+        {
             let line = self.woro_deferred.pop_front().expect("checked non-empty");
             return self.coalesced(pc, false, line);
         }
@@ -211,7 +211,7 @@ impl GenProgram {
         // reuse before churn evicts its entries.
         if self.burst_left == 0 {
             let m = self.spec.mix;
-            let x = self.rng.gen::<f64>() * m.total();
+            let x = self.rng.next_f64() * m.total();
             self.burst_class = if x < m.wm {
                 0
             } else if x < m.wm + m.read_intensive {
@@ -222,10 +222,10 @@ impl GenProgram {
                 3
             };
             // Long phases: a loop body streams one array for a while.
-            self.burst_left = self.rng.gen_range(12..=32);
+            self.burst_left = self.rng.range_u32_inclusive(12, 32);
         }
         self.burst_left -= 1;
-        let variant = self.rng.gen_range(0..PC_VARIANTS);
+        let variant = self.rng.range_u64(PC_VARIANTS as u64) as u32;
         match self.burst_class {
             0 => self.gen_wm(variant),
             1 => self.gen_read_intensive(variant),
@@ -241,7 +241,7 @@ impl WarpProgram for GenProgram {
             return None;
         }
         self.remaining -= 1;
-        if self.rng.gen::<f64>() < self.spec.mem_fraction() {
+        if self.rng.chance(self.spec.mem_fraction()) {
             Some(WarpOp::Mem(self.gen_mem()))
         } else {
             Some(WarpOp::Compute { cycles: 1 })
@@ -291,7 +291,10 @@ mod tests {
         let heavy = mem("GEMM"); // APKI 136
         let light = mem("pathf"); // APKI 1.2
         assert!(heavy > 0.5, "GEMM must be memory heavy, got {heavy}");
-        assert!(light < 0.08, "pathfinder must be compute bound, got {light}");
+        assert!(
+            light < 0.08,
+            "pathfinder must be compute bound, got {light}"
+        );
     }
 
     #[test]
@@ -310,9 +313,11 @@ mod tests {
                 }
             }
         }
-        let avg: f64 =
-            lines_per_op.iter().sum::<usize>() as f64 / lines_per_op.len() as f64;
-        assert!(avg > 2.0, "irregular accesses must span many lines, avg {avg}");
+        let avg: f64 = lines_per_op.iter().sum::<usize>() as f64 / lines_per_op.len() as f64;
+        assert!(
+            avg > 2.0,
+            "irregular accesses must span many lines, avg {avg}"
+        );
         // Conflict concentration: the top-4 sets absorb most accesses.
         let mut counts: Vec<u64> = set_histogram.values().copied().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod gen;
+pub mod rng;
 pub mod spec;
 pub mod suites;
 

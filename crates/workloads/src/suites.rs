@@ -24,7 +24,12 @@ fn spec(
         suite,
         apki,
         paper_bypass_ratio: bypass,
-        mix: ClassMix { wm: mix.0, read_intensive: mix.1, worm: mix.2, woro: mix.3 },
+        mix: ClassMix {
+            wm: mix.0,
+            read_intensive: mix.1,
+            worm: mix.2,
+            woro: mix.3,
+        },
         irregularity,
         pitch_lines: 64,
         worm_region_lines,
@@ -40,27 +45,179 @@ fn spec(
 pub fn all_workloads() -> Vec<WorkloadSpec> {
     use Suite::*;
     vec![
-        spec("2DCONV", PolyBench, 9.0, 0.26, (0.05, 0.25, 0.62, 0.08), 0.0, 1536),
-        spec("2MM", PolyBench, 10.0, 0.60, (0.45, 0.08, 0.39, 0.08), 0.55, 3072),
-        spec("3MM", PolyBench, 10.0, 0.49, (0.45, 0.08, 0.41, 0.06), 0.55, 3072),
-        spec("ATAX", PolyBench, 64.0, 0.90, (0.02, 0.04, 0.88, 0.06), 0.85, 4096),
-        spec("BICG", PolyBench, 64.0, 0.90, (0.02, 0.04, 0.88, 0.06), 0.85, 4096),
-        spec("cfd", Rodinia, 4.5, 0.81, (0.06, 0.10, 0.54, 0.30), 0.45, 1024),
-        spec("FDTD", PolyBench, 18.0, 0.27, (0.15, 0.20, 0.58, 0.07), 0.15, 1536),
-        spec("gaussian", Rodinia, 8.5, 0.36, (0.08, 0.30, 0.56, 0.06), 0.10, 1024),
-        spec("GEMM", PolyBench, 136.0, 0.61, (0.10, 0.10, 0.60, 0.20), 0.70, 3072),
-        spec("GESUM", PolyBench, 12.0, 0.96, (0.02, 0.03, 0.73, 0.22), 0.80, 4096),
+        spec(
+            "2DCONV",
+            PolyBench,
+            9.0,
+            0.26,
+            (0.05, 0.25, 0.62, 0.08),
+            0.0,
+            1536,
+        ),
+        spec(
+            "2MM",
+            PolyBench,
+            10.0,
+            0.60,
+            (0.45, 0.08, 0.39, 0.08),
+            0.55,
+            3072,
+        ),
+        spec(
+            "3MM",
+            PolyBench,
+            10.0,
+            0.49,
+            (0.45, 0.08, 0.41, 0.06),
+            0.55,
+            3072,
+        ),
+        spec(
+            "ATAX",
+            PolyBench,
+            64.0,
+            0.90,
+            (0.02, 0.04, 0.88, 0.06),
+            0.85,
+            4096,
+        ),
+        spec(
+            "BICG",
+            PolyBench,
+            64.0,
+            0.90,
+            (0.02, 0.04, 0.88, 0.06),
+            0.85,
+            4096,
+        ),
+        spec(
+            "cfd",
+            Rodinia,
+            4.5,
+            0.81,
+            (0.06, 0.10, 0.54, 0.30),
+            0.45,
+            1024,
+        ),
+        spec(
+            "FDTD",
+            PolyBench,
+            18.0,
+            0.27,
+            (0.15, 0.20, 0.58, 0.07),
+            0.15,
+            1536,
+        ),
+        spec(
+            "gaussian",
+            Rodinia,
+            8.5,
+            0.36,
+            (0.08, 0.30, 0.56, 0.06),
+            0.10,
+            1024,
+        ),
+        spec(
+            "GEMM",
+            PolyBench,
+            136.0,
+            0.61,
+            (0.10, 0.10, 0.60, 0.20),
+            0.70,
+            3072,
+        ),
+        spec(
+            "GESUM",
+            PolyBench,
+            12.0,
+            0.96,
+            (0.02, 0.03, 0.73, 0.22),
+            0.80,
+            4096,
+        ),
         spec("II", Mars, 77.0, 0.54, (0.28, 0.10, 0.42, 0.20), 0.60, 2048),
-        spec("MVT", PolyBench, 64.0, 0.91, (0.02, 0.04, 0.88, 0.06), 0.85, 4096),
-        spec("PVC", Mars, 37.0, 0.18, (0.42, 0.18, 0.35, 0.05), 0.50, 1536),
-        spec("PVR", Mars, 14.0, 0.33, (0.35, 0.20, 0.40, 0.05), 0.50, 1536),
-        spec("pathf", Rodinia, 1.2, 0.92, (0.05, 0.10, 0.35, 0.50), 0.0, 768),
+        spec(
+            "MVT",
+            PolyBench,
+            64.0,
+            0.91,
+            (0.02, 0.04, 0.88, 0.06),
+            0.85,
+            4096,
+        ),
+        spec(
+            "PVC",
+            Mars,
+            37.0,
+            0.18,
+            (0.42, 0.18, 0.35, 0.05),
+            0.50,
+            1536,
+        ),
+        spec(
+            "PVR",
+            Mars,
+            14.0,
+            0.33,
+            (0.35, 0.20, 0.40, 0.05),
+            0.50,
+            1536,
+        ),
+        spec(
+            "pathf",
+            Rodinia,
+            1.2,
+            0.92,
+            (0.05, 0.10, 0.35, 0.50),
+            0.0,
+            768,
+        ),
         spec("SS", Mars, 30.0, 0.80, (0.35, 0.05, 0.30, 0.30), 0.60, 2048),
-        spec("srad_v1", Rodinia, 3.5, 0.38, (0.15, 0.30, 0.50, 0.05), 0.10, 1024),
-        spec("SM", Mars, 140.0, 0.02, (0.08, 0.45, 0.45, 0.02), 0.40, 1536),
-        spec("SYR2K", PolyBench, 108.0, 0.02, (0.15, 0.35, 0.48, 0.02), 0.50, 2048),
-        spec("mri-g", Parboil, 3.3, 0.13, (0.20, 0.40, 0.35, 0.05), 0.10, 1024),
-        spec("histo", Parboil, 9.6, 0.63, (0.35, 0.10, 0.25, 0.30), 0.70, 1536),
+        spec(
+            "srad_v1",
+            Rodinia,
+            3.5,
+            0.38,
+            (0.15, 0.30, 0.50, 0.05),
+            0.10,
+            1024,
+        ),
+        spec(
+            "SM",
+            Mars,
+            140.0,
+            0.02,
+            (0.08, 0.45, 0.45, 0.02),
+            0.40,
+            1536,
+        ),
+        spec(
+            "SYR2K",
+            PolyBench,
+            108.0,
+            0.02,
+            (0.15, 0.35, 0.48, 0.02),
+            0.50,
+            2048,
+        ),
+        spec(
+            "mri-g",
+            Parboil,
+            3.3,
+            0.13,
+            (0.20, 0.40, 0.35, 0.05),
+            0.10,
+            1024,
+        ),
+        spec(
+            "histo",
+            Parboil,
+            9.6,
+            0.63,
+            (0.35, 0.10, 0.25, 0.30),
+            0.70,
+            1536,
+        ),
     ]
     .into_iter()
     .map(|mut w| {
@@ -90,23 +247,30 @@ pub fn fig3_workloads() -> Vec<WorkloadSpec> {
 
 /// The nine workloads of the Fig. 18 SRAM:STT ratio sweep.
 pub fn fig18_workloads() -> Vec<WorkloadSpec> {
-    ["2DCONV", "2MM", "3MM", "ATAX", "BICG", "FDTD", "GEMM", "GESUM", "SYR2K"]
-        .iter()
-        .map(|n| by_name(n).expect("known workload"))
-        .collect()
+    [
+        "2DCONV", "2MM", "3MM", "ATAX", "BICG", "FDTD", "GEMM", "GESUM", "SYR2K",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("known workload"))
+    .collect()
 }
 
 /// The nine workloads of the Fig. 20 CBF false-positive sweep.
 pub fn fig20_workloads() -> Vec<WorkloadSpec> {
-    ["2DCONV", "2MM", "3MM", "ATAX", "BICG", "cfd", "FDTD", "gaussian", "GEMM"]
-        .iter()
-        .map(|n| by_name(n).expect("known workload"))
-        .collect()
+    [
+        "2DCONV", "2MM", "3MM", "ATAX", "BICG", "cfd", "FDTD", "gaussian", "GEMM",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("known workload"))
+    .collect()
 }
 
 /// Workloads grouped by suite (Fig. 7b's x-axis).
 pub fn by_suite(suite: Suite) -> Vec<WorkloadSpec> {
-    all_workloads().into_iter().filter(|w| w.suite == suite).collect()
+    all_workloads()
+        .into_iter()
+        .filter(|w| w.suite == suite)
+        .collect()
 }
 
 #[cfg(test)]
@@ -139,14 +303,19 @@ mod tests {
 
     #[test]
     fn paper_irregular_group_is_irregular() {
-        for n in ["2MM", "3MM", "ATAX", "BICG", "GEMM", "GESUM", "II", "MVT", "PVC", "SS", "SM", "SYR2K"] {
+        for n in [
+            "2MM", "3MM", "ATAX", "BICG", "GEMM", "GESUM", "II", "MVT", "PVC", "SS", "SM", "SYR2K",
+        ] {
             assert!(
                 by_name(n).unwrap().irregularity >= 0.4,
                 "{n} should be irregular"
             );
         }
         for n in ["2DCONV", "gaussian", "pathf", "srad_v1", "mri-g"] {
-            assert!(by_name(n).unwrap().irregularity <= 0.15, "{n} should be regular");
+            assert!(
+                by_name(n).unwrap().irregularity <= 0.15,
+                "{n} should be regular"
+            );
         }
     }
 

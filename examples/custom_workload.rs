@@ -49,10 +49,34 @@ impl WarpProgram for StencilKernel {
         let row = self.base + self.row;
         let op = match self.phase {
             // north, centre, south loads; then the output store.
-            0 => WarpOp::Mem(MemOp::strided(0x10, false, self.addr(row.saturating_sub(1), self.col, false), 4, 32)),
-            1 => WarpOp::Mem(MemOp::strided(0x14, false, self.addr(row, self.col, false), 4, 32)),
-            2 => WarpOp::Mem(MemOp::strided(0x18, false, self.addr(row + 1, self.col, false), 4, 32)),
-            3 => WarpOp::Mem(MemOp::strided(0x1C, true, self.addr(row, self.col, true), 4, 32)),
+            0 => WarpOp::Mem(MemOp::strided(
+                0x10,
+                false,
+                self.addr(row.saturating_sub(1), self.col, false),
+                4,
+                32,
+            )),
+            1 => WarpOp::Mem(MemOp::strided(
+                0x14,
+                false,
+                self.addr(row, self.col, false),
+                4,
+                32,
+            )),
+            2 => WarpOp::Mem(MemOp::strided(
+                0x18,
+                false,
+                self.addr(row + 1, self.col, false),
+                4,
+                32,
+            )),
+            3 => WarpOp::Mem(MemOp::strided(
+                0x1C,
+                true,
+                self.addr(row, self.col, true),
+                4,
+                32,
+            )),
             _ => WarpOp::Compute { cycles: 2 }, // the 5-point arithmetic
         };
         self.phase += 1;
@@ -69,7 +93,11 @@ impl WarpProgram for StencilKernel {
 }
 
 fn main() {
-    let cfg = GpuConfig { num_sms: 4, warps_per_sm: 16, ..GpuConfig::gtx480() };
+    let cfg = GpuConfig {
+        num_sms: 4,
+        warps_per_sm: 16,
+        ..GpuConfig::gtx480()
+    };
     println!("5-point stencil, 512-cell rows, 8 rows/warp, 4 SMs x 16 warps\n");
     println!(
         "{:<10} {:>8} {:>10} {:>12} {:>10}",

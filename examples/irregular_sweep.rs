@@ -7,15 +7,36 @@
 //! shifts the cliff, and the approximate fully-associative STT bank keeps
 //! absorbing columns until raw capacity runs out.
 //!
+//! Each working-set variant is one grid row of a parallel sweep.
+//!
 //! Run with `cargo run --release --example irregular_sweep`.
 
 use fuse::core::config::L1Preset;
-use fuse::runner::{run_workload, RunConfig};
+use fuse::runner::RunConfig;
+use fuse::sweep::SweepPlan;
 use fuse::workloads::by_name;
 
+const REGIONS: [u64; 5] = [512, 1024, 2048, 4096, 8192];
+
 fn main() {
-    let rc = RunConfig { ops_scale: 0.5, ..RunConfig::standard() };
-    let presets = [L1Preset::L1Sram, L1Preset::Hybrid, L1Preset::FaFuse, L1Preset::DyFuse];
+    let rc = RunConfig {
+        ops_scale: 0.5,
+        ..RunConfig::standard()
+    };
+    let presets = [
+        L1Preset::L1Sram,
+        L1Preset::Hybrid,
+        L1Preset::FaFuse,
+        L1Preset::DyFuse,
+    ];
+    let report = SweepPlan::new("irregular-sweep", rc)
+        .workloads(REGIONS.map(|region| {
+            let mut spec = by_name("ATAX").expect("known workload");
+            spec.worm_region_lines = region;
+            spec
+        }))
+        .presets(&presets)
+        .run();
 
     println!("ATAX-like column walks: IPC vs matrix working set (lines)");
     print!("{:>12}", "region");
@@ -23,13 +44,10 @@ fn main() {
         print!("{:>12}", p.name());
     }
     println!();
-    for region in [512u64, 1024, 2048, 4096, 8192] {
-        let mut spec = by_name("ATAX").expect("known workload");
-        spec.worm_region_lines = region;
+    for (wi, region) in REGIONS.iter().enumerate() {
         print!("{region:>12}");
-        for p in presets {
-            let r = run_workload(&spec, p, &rc);
-            print!("{:>12.3}", r.ipc());
+        for cell in report.row(wi) {
+            print!("{:>12.3}", cell.result.ipc());
         }
         println!();
     }
@@ -37,4 +55,5 @@ fn main() {
     println!("Reading the table: the FA/Dy-FUSE columns should dominate at every");
     println!("size, and the gap should peak while the columns still fit the 512-line");
     println!("fully-associative STT bank but overflow the set-associative designs.");
+    println!("{}", report.timing_summary());
 }

@@ -4,30 +4,38 @@
 //! MapReduce kernels are the paper's write-heavy counterexample: emit
 //! buffers produce write-multiple blocks that must stay in SRAM, while the
 //! input corpus is WORM. This example compares the three placement
-//! strategies and prints the Dy-FUSE predictor/migration statistics that
-//! explain the differences.
+//! strategies (one parallel sweep over the Mars kernels) and prints the
+//! Dy-FUSE predictor/migration statistics that explain the differences.
 //!
 //! Run with `cargo run --release --example mapreduce_mars`.
 
 use fuse::core::config::L1Preset;
-use fuse::runner::{run_workload, RunConfig};
+use fuse::runner::RunConfig;
+use fuse::sweep::SweepPlan;
 use fuse::workloads::spec::Suite;
 use fuse::workloads::suites::by_suite;
 
 fn main() {
-    let rc = RunConfig { ops_scale: 0.5, ..RunConfig::standard() };
+    let rc = RunConfig {
+        ops_scale: 0.5,
+        ..RunConfig::standard()
+    };
+    let report = SweepPlan::new("mapreduce-mars", rc)
+        .workloads(by_suite(Suite::Mars))
+        .presets(&[L1Preset::L1Sram, L1Preset::ByNvm, L1Preset::DyFuse])
+        .run();
+
     println!(
         "{:<8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12} {:>10}",
         "kernel", "L1-SRAM", "By-NVM", "Dy-FUSE", "WM->SRAM", "SRAM->STT", "bypassed", "accuracy"
     );
-    for w in by_suite(Suite::Mars) {
-        let base = run_workload(&w, L1Preset::L1Sram, &rc);
-        let bynvm = run_workload(&w, L1Preset::ByNvm, &rc);
-        let dy = run_workload(&w, L1Preset::DyFuse, &rc);
+    for (wi, w) in report.workloads.iter().enumerate() {
+        let row = report.row(wi);
+        let (base, bynvm, dy) = (&row[0].result, &row[1].result, &row[2].result);
         let m = &dy.metrics;
         println!(
             "{:<8} {:>9.3}  {:>9.3} {:>10.3} {:>12} {:>12} {:>12} {:>9.1}%",
-            w.name,
+            w,
             base.ipc(),
             bynvm.ipc(),
             dy.ipc(),
@@ -41,4 +49,5 @@ fn main() {
     println!("WM->SRAM counts write-hit mispredictions pulled out of STT-MRAM;");
     println!("SRAM->STT counts victim migrations through the swap buffer; the");
     println!("accuracy column grades fill-time read-level predictions (Fig. 16).");
+    println!("{}", report.timing_summary());
 }

@@ -2,23 +2,21 @@
 //! one write-heavy workload, printing IPC, L1D miss rate and outgoing
 //! memory references — the paper's three headline metrics.
 //!
+//! The 2 × 9 grid runs on the parallel sweep engine; results are
+//! identical to running each pair serially.
+//!
 //! Run with `cargo run --release --example quickstart`.
 
 use fuse::core::config::L1Preset;
-use fuse::runner::{run_workload, RunConfig};
+use fuse::runner::RunConfig;
+use fuse::sweep::SweepPlan;
 use fuse::workloads::by_name;
 
 fn main() {
-    let rc = RunConfig::standard();
-    for name in ["ATAX", "2MM"] {
-        let spec = by_name(name).expect("known workload");
-        println!("== {name} ==");
-        println!(
-            "{:<10} {:>8} {:>8} {:>10} {:>10} {:>10}",
-            "config", "IPC", "miss", "outgoing", "cycles", "L1 nJ"
-        );
-        let mut base_ipc = None;
-        for preset in [
+    let report = SweepPlan::new("quickstart", RunConfig::standard())
+        .workloads(by_name("ATAX"))
+        .workloads(by_name("2MM"))
+        .presets(&[
             L1Preset::L1Sram,
             L1Preset::FaSram,
             L1Preset::SttOnly,
@@ -28,13 +26,23 @@ fn main() {
             L1Preset::FaFuse,
             L1Preset::DyFuse,
             L1Preset::Oracle,
-        ] {
-            let r = run_workload(&spec, preset, &rc);
+        ])
+        .run();
+
+    for (wi, name) in report.workloads.iter().enumerate() {
+        println!("== {name} ==");
+        println!(
+            "{:<10} {:>8} {:>8} {:>10} {:>10} {:>10}",
+            "config", "IPC", "miss", "outgoing", "cycles", "L1 nJ"
+        );
+        let mut base_ipc = None;
+        for cell in report.row(wi) {
+            let r = &cell.result;
             let ipc = r.ipc();
             let base = *base_ipc.get_or_insert(ipc);
             println!(
                 "{:<10} {:>8.3} {:>8.3} {:>10} {:>10} {:>10.0}  ({:.2}x)",
-                preset.name(),
+                r.config,
                 ipc,
                 r.miss_rate(),
                 r.outgoing_requests(),
@@ -44,4 +52,5 @@ fn main() {
             );
         }
     }
+    println!("{}", report.timing_summary());
 }

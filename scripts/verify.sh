@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a PR must pass, fully offline.
+#
+#   scripts/verify.sh          # fmt + clippy + build + tests
+#   scripts/verify.sh --quick  # skip fmt/clippy (tier-1 only)
+#
+# The workspace has no external dependencies (PRNG, timing harness and
+# property generators are all in-repo), so every step below works without
+# network access; CARGO_NET_OFFLINE is exported to make that a hard
+# guarantee rather than an accident of the local cache.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+quick=false
+[[ "${1:-}" == "--quick" ]] && quick=true
+
+if ! $quick; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+
+    echo "==> cargo clippy (workspace, all targets, -D warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "verify: OK"

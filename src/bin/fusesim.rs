@@ -7,13 +7,19 @@
 //! $ fusesim run --workload ATAX --config Dy-FUSE
 //! $ fusesim run --workload GEMM --config L1-SRAM --volta --scale 2
 //! $ fusesim compare --workload BICG
+//! $ fusesim sweep --workloads ATAX,BICG,GEMM --configs fig13 --json BENCH_sweep.json
 //! $ fusesim list
 //! ```
+//!
+//! `compare` and `sweep` execute their grids on the parallel sweep engine
+//! ([`fuse::sweep::SweepPlan`]); results are identical to serial runs,
+//! only faster.
 
 use std::process::ExitCode;
 
 use fuse::core::config::L1Preset;
 use fuse::runner::{run_workload, RunConfig, RunResult};
+use fuse::sweep::SweepPlan;
 use fuse::workloads::{all_workloads, by_name};
 
 const USAGE: &str = "\
@@ -23,10 +29,15 @@ USAGE:
     fusesim list                         list workloads and L1 configurations
     fusesim run [OPTIONS]                run one (workload, config) pair
     fusesim compare [OPTIONS]            run every L1 configuration on one workload
+    fusesim sweep [OPTIONS]              run a (workloads x configs) grid in parallel
 
 OPTIONS:
     --workload <NAME>    workload name from Table II (default: ATAX)
     --config <NAME>      L1 configuration (default: Dy-FUSE)
+    --workloads <LIST>   comma-separated workloads, or `all` (sweep; default all)
+    --configs <LIST>     comma-separated configs, `all`, or `fig13` (sweep; default fig13)
+    --threads <N>        sweep worker threads (default: all cores)
+    --json <PATH>        append the sweep entry to a BENCH_sweep.json file
     --volta              use the Fig. 19 Volta-class machine
     --scale <F>          instruction-budget multiplier (default 1.0)
     --quiet              print only the one-line summary
@@ -37,6 +48,10 @@ struct Args {
     command: String,
     workload: String,
     config: String,
+    workloads: String,
+    configs: String,
+    threads: Option<usize>,
+    json: Option<String>,
     volta: bool,
     scale: f64,
     quiet: bool,
@@ -48,6 +63,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         command,
         workload: "ATAX".to_string(),
         config: "Dy-FUSE".to_string(),
+        workloads: "all".to_string(),
+        configs: "fig13".to_string(),
+        threads: None,
+        json: None,
         volta: false,
         scale: 1.0,
         quiet: false,
@@ -59,6 +78,23 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--config" => {
                 args.config = argv.next().ok_or("--config needs a value")?;
+            }
+            "--workloads" => {
+                args.workloads = argv.next().ok_or("--workloads needs a value")?;
+            }
+            "--configs" => {
+                args.configs = argv.next().ok_or("--configs needs a value")?;
+            }
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                args.threads = Some(n);
+            }
+            "--json" => {
+                args.json = Some(argv.next().ok_or("--json needs a value")?);
             }
             "--volta" => args.volta = true,
             "--quiet" => args.quiet = true,
@@ -76,11 +112,17 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
 }
 
 fn preset_by_name(name: &str) -> Option<L1Preset> {
-    L1Preset::ALL.into_iter().find(|p| p.name().eq_ignore_ascii_case(name))
+    L1Preset::ALL
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
 }
 
 fn run_config(args: &Args) -> RunConfig {
-    let mut rc = if args.volta { RunConfig::volta() } else { RunConfig::standard() };
+    let mut rc = if args.volta {
+        RunConfig::volta()
+    } else {
+        RunConfig::standard()
+    };
     rc.ops_scale *= args.scale;
     rc
 }
@@ -135,7 +177,10 @@ fn print_result(r: &RunResult, quiet: bool) {
         if m.accuracy.total() > 0 {
             println!(
                 "  predictor: {} true / {} false / {} neutral over {} graded evictions",
-                m.accuracy.trues, m.accuracy.falses, m.accuracy.neutrals, m.accuracy.total()
+                m.accuracy.trues,
+                m.accuracy.falses,
+                m.accuracy.neutrals,
+                m.accuracy.total()
             );
         }
     }
@@ -156,7 +201,11 @@ fn cmd_list() {
     for w in all_workloads() {
         println!(
             "  {:<8} {:<8} APKI {:>5.1}  paper bypass {:>4.2}  irregularity {:.2}",
-            w.name, w.suite.to_string(), w.apki, w.paper_bypass_ratio, w.irregularity
+            w.name,
+            w.suite.to_string(),
+            w.apki,
+            w.paper_bypass_ratio,
+            w.irregularity
         );
     }
     println!("\nL1 configurations (Table I):");
@@ -178,24 +227,94 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 fn cmd_compare(args: &Args) -> Result<(), String> {
     let spec = by_name(&args.workload)
         .ok_or_else(|| format!("unknown workload {:?} (try `fusesim list`)", args.workload))?;
-    let rc = run_config(args);
+    let mut plan = SweepPlan::new("compare", run_config(args))
+        .workloads([spec])
+        .presets(&L1Preset::ALL);
+    if let Some(t) = args.threads {
+        plan = plan.threads(t);
+    }
+    let report = plan.run();
     let mut base = None;
     println!(
         "{:<10} {:>9} {:>8} {:>11} {:>10} {:>9}",
         "config", "IPC", "miss", "outgoing", "L1 nJ", "vs base"
     );
-    for preset in L1Preset::ALL {
-        let r = run_workload(&spec, preset, &rc);
+    for cell in report.row(0) {
+        let r = &cell.result;
         let b = *base.get_or_insert(r.ipc());
         println!(
             "{:<10} {:>9.4} {:>8.3} {:>11} {:>10.0} {:>8.2}x",
-            preset.name(),
+            r.config,
             r.ipc(),
             r.miss_rate(),
             r.outgoing_requests(),
             r.l1_energy_nj(),
             r.ipc() / b
         );
+    }
+    if !args.quiet {
+        println!("{}", report.timing_summary());
+    }
+    Ok(())
+}
+
+fn parse_sweep_workloads(list: &str) -> Result<Vec<fuse::workloads::spec::WorkloadSpec>, String> {
+    if list.eq_ignore_ascii_case("all") {
+        return Ok(all_workloads());
+    }
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| by_name(name).ok_or_else(|| format!("unknown workload {name:?}")))
+        .collect()
+}
+
+fn parse_sweep_presets(list: &str) -> Result<Vec<L1Preset>, String> {
+    if list.eq_ignore_ascii_case("all") {
+        return Ok(L1Preset::ALL.to_vec());
+    }
+    if list.eq_ignore_ascii_case("fig13") {
+        return Ok(L1Preset::FIG13.to_vec());
+    }
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| preset_by_name(name).ok_or_else(|| format!("unknown config {name:?}")))
+        .collect()
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let workloads = parse_sweep_workloads(&args.workloads)?;
+    let presets = parse_sweep_presets(&args.configs)?;
+    if workloads.is_empty() || presets.is_empty() {
+        return Err("sweep needs at least one workload and one config".to_string());
+    }
+    let mut plan = SweepPlan::new("cli-sweep", run_config(args))
+        .workloads(workloads)
+        .presets(&presets);
+    if let Some(t) = args.threads {
+        plan = plan.threads(t);
+    }
+    let report = plan.run();
+
+    print!("{:<10}", "workload");
+    for c in &report.configs {
+        print!(" {c:>10}");
+    }
+    println!(" (IPC)");
+    for (wi, w) in report.workloads.iter().enumerate() {
+        print!("{w:<10}");
+        for cell in report.row(wi) {
+            print!(" {:>10.4}", cell.result.ipc());
+        }
+        println!();
+    }
+    println!("{}", report.timing_summary());
+    if let Some(path) = &args.json {
+        report
+            .write_json(std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote sweep entry to {path}");
     }
     Ok(())
 }
@@ -215,6 +334,7 @@ fn main() -> ExitCode {
         }
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
+        "sweep" => cmd_sweep(&args),
         _ => {
             println!("{USAGE}");
             Ok(())
@@ -239,8 +359,17 @@ mod tests {
 
     #[test]
     fn parses_run_flags() {
-        let a = args(&["run", "--workload", "GEMM", "--config", "By-NVM", "--volta", "--scale", "2"])
-            .unwrap();
+        let a = args(&[
+            "run",
+            "--workload",
+            "GEMM",
+            "--config",
+            "By-NVM",
+            "--volta",
+            "--scale",
+            "2",
+        ])
+        .unwrap();
         assert_eq!(a.command, "run");
         assert_eq!(a.workload, "GEMM");
         assert_eq!(a.config, "By-NVM");
@@ -261,5 +390,40 @@ mod tests {
         assert_eq!(preset_by_name("dy-fuse"), Some(L1Preset::DyFuse));
         assert_eq!(preset_by_name("L1-SRAM"), Some(L1Preset::L1Sram));
         assert_eq!(preset_by_name("nope"), None);
+    }
+
+    #[test]
+    fn parses_sweep_flags() {
+        let a = args(&[
+            "sweep",
+            "--workloads",
+            "ATAX,BICG",
+            "--configs",
+            "fig13",
+            "--threads",
+            "4",
+            "--json",
+            "out.json",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "sweep");
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(parse_sweep_workloads(&a.workloads).unwrap().len(), 2);
+        assert_eq!(
+            parse_sweep_presets(&a.configs).unwrap(),
+            L1Preset::FIG13.to_vec()
+        );
+    }
+
+    #[test]
+    fn sweep_lists_reject_unknown_names() {
+        assert!(parse_sweep_workloads("ATAX,nope").is_err());
+        assert!(parse_sweep_presets("Dy-FUSE,bogus").is_err());
+        assert!(args(&["sweep", "--threads", "0"]).is_err());
+        assert_eq!(
+            parse_sweep_workloads("all").unwrap().len(),
+            all_workloads().len()
+        );
     }
 }

@@ -44,5 +44,7 @@ pub use fuse_predict as predict;
 pub use fuse_workloads as workloads;
 
 pub mod runner;
+pub mod sweep;
 
 pub use runner::{geomean, run_l1_config, run_workload, RunConfig, RunResult};
+pub use sweep::{SweepCell, SweepConfig, SweepPlan, SweepReport};

@@ -30,18 +30,30 @@ pub struct RunConfig {
 impl RunConfig {
     /// The paper's GTX480-class machine with the default budget.
     pub fn standard() -> Self {
-        RunConfig { gpu: GpuConfig::gtx480(), ops_scale: env_scale(), max_cycles: 20_000_000 }
+        RunConfig {
+            gpu: GpuConfig::gtx480(),
+            ops_scale: env_scale(),
+            max_cycles: 20_000_000,
+        }
     }
 
     /// The Fig. 19 Volta-class machine.
     pub fn volta() -> Self {
-        RunConfig { gpu: GpuConfig::volta(), ops_scale: env_scale() * 0.25, max_cycles: 20_000_000 }
+        RunConfig {
+            gpu: GpuConfig::volta(),
+            ops_scale: env_scale() * 0.25,
+            max_cycles: 20_000_000,
+        }
     }
 
     /// A deliberately tiny budget for doctests and smoke tests.
     pub fn smoke() -> Self {
         RunConfig {
-            gpu: GpuConfig { num_sms: 2, warps_per_sm: 8, ..GpuConfig::gtx480() },
+            gpu: GpuConfig {
+                num_sms: 2,
+                warps_per_sm: 8,
+                ..GpuConfig::gtx480()
+            },
             ops_scale: 0.25,
             max_cycles: 2_000_000,
         }
@@ -189,7 +201,10 @@ mod tests {
     fn geomean_math() {
         assert_eq!(geomean(&[]), 0.0);
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert!((geomean(&[5.0, 0.0, -1.0]) - 5.0).abs() < 1e-12, "non-positive ignored");
+        assert!(
+            (geomean(&[5.0, 0.0, -1.0]) - 5.0).abs() < 1e-12,
+            "non-positive ignored"
+        );
     }
 
     #[test]
@@ -216,6 +231,9 @@ mod tests {
     fn fuse_metrics_are_collected() {
         let w = by_name("ATAX").unwrap();
         let r = run_workload(&w, L1Preset::FaFuse, &RunConfig::smoke());
-        assert!(r.metrics.tag_searches > 0, "approximate probes must be counted");
+        assert!(
+            r.metrics.tag_searches > 0,
+            "approximate probes must be counted"
+        );
     }
 }

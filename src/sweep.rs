@@ -1,0 +1,507 @@
+//! Parallel sweep execution layer.
+//!
+//! Every paper figure is a grid of **independent, deterministic**
+//! simulations — up to 21 workloads × 6 L1D configurations. A
+//! [`SweepPlan`] describes such a (workload × L1 configuration) grid once;
+//! [`SweepPlan::run`] executes it on a scoped-thread worker pool (std
+//! only: [`std::thread::scope`] plus an atomic work index, no external
+//! dependencies) and returns a [`SweepReport`] whose cells are in
+//! deterministic grid order — workload-major, exactly as
+//! [`SweepPlan::run_serial`] would produce them.
+//!
+//! # Determinism
+//!
+//! Each grid cell owns its whole simulator instance ([`run_workload`] /
+//! [`run_l1_config`] construct a fresh [`fuse_gpu::system::GpuSystem`] per
+//! call) and the workload generators are seeded pure functions of
+//! (workload, SM, warp), so cells share no mutable state. Parallel
+//! execution therefore yields **bitwise-identical** [`RunResult`]s to the
+//! serial path — only the wall-clock timings differ. The
+//! `sweep_determinism` integration test and the `parallel_equals_serial`
+//! unit test below assert this on every run of the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use fuse::runner::RunConfig;
+//! use fuse::sweep::SweepPlan;
+//! use fuse::core::config::L1Preset;
+//!
+//! let report = SweepPlan::new("demo", RunConfig::smoke())
+//!     .workloads(fuse::workloads::by_name("ATAX"))
+//!     .presets(&[L1Preset::L1Sram, L1Preset::DyFuse])
+//!     .run();
+//! assert_eq!(report.configs, vec!["L1-SRAM", "Dy-FUSE"]);
+//! assert!(report.cell(0, 1).result.ipc() > 0.0);
+//! ```
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use fuse_core::config::{L1Config, L1Preset};
+use fuse_workloads::spec::WorkloadSpec;
+
+use crate::runner::{run_l1_config, run_workload, RunConfig, RunResult};
+
+/// One L1D column of the sweep grid.
+// `Custom` carries a full `L1Config` inline; a plan holds a handful of
+// columns, so the size gap to `Preset` is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum SweepConfig {
+    /// A named Table I preset.
+    Preset(L1Preset),
+    /// An arbitrary configuration (ratio sweeps, ablations).
+    Custom {
+        /// Column label in the report.
+        name: String,
+        /// The configuration to run.
+        config: L1Config,
+    },
+}
+
+impl SweepConfig {
+    /// The column label.
+    pub fn name(&self) -> &str {
+        match self {
+            SweepConfig::Preset(p) => p.name(),
+            SweepConfig::Custom { name, .. } => name,
+        }
+    }
+
+    fn run(&self, spec: &WorkloadSpec, rc: &RunConfig) -> RunResult {
+        match self {
+            SweepConfig::Preset(p) => run_workload(spec, *p, rc),
+            SweepConfig::Custom { name, config } => run_l1_config(spec, config, name, rc),
+        }
+    }
+}
+
+/// A (workload × L1 configuration) grid awaiting execution.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Sweep label (keys the `BENCH_sweep.json` entry).
+    pub name: String,
+    /// Grid rows.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Grid columns.
+    pub configs: Vec<SweepConfig>,
+    /// Machine and budget shared by every cell.
+    pub run_config: RunConfig,
+    /// Worker threads; `None` uses the host's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl SweepPlan {
+    /// An empty plan under `run_config`.
+    pub fn new(name: impl Into<String>, run_config: RunConfig) -> Self {
+        SweepPlan {
+            name: name.into(),
+            workloads: Vec::new(),
+            configs: Vec::new(),
+            run_config,
+            threads: None,
+        }
+    }
+
+    /// Adds grid rows.
+    pub fn workloads(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads.extend(specs);
+        self
+    }
+
+    /// Adds preset columns.
+    pub fn presets(mut self, presets: &[L1Preset]) -> Self {
+        self.configs
+            .extend(presets.iter().map(|p| SweepConfig::Preset(*p)));
+        self
+    }
+
+    /// Adds a custom-configuration column.
+    pub fn custom(mut self, name: impl Into<String>, config: L1Config) -> Self {
+        self.configs.push(SweepConfig::Custom {
+            name: name.into(),
+            config,
+        });
+        self
+    }
+
+    /// Pins the worker-pool size (default: available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Grid cells in the plan.
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.configs.len()
+    }
+
+    /// True when the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn resolved_threads(&self) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.threads.unwrap_or(hw).clamp(1, self.len().max(1))
+    }
+
+    /// Executes the grid on the worker pool and returns the cells in
+    /// workload-major grid order (identical to [`SweepPlan::run_serial`],
+    /// bit for bit — see the module docs).
+    pub fn run(&self) -> SweepReport {
+        self.run_on(self.resolved_threads())
+    }
+
+    /// Executes the grid strictly serially on the calling thread.
+    pub fn run_serial(&self) -> SweepReport {
+        self.run_on(1)
+    }
+
+    fn run_on(&self, threads: usize) -> SweepReport {
+        let t0 = Instant::now();
+        let n = self.len();
+        let cols = self.configs.len().max(1);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
+
+        if threads <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.run_cell(i / cols, i % cols));
+            }
+        } else {
+            // Scoped worker pool: each worker claims the next unclaimed
+            // cell off a shared atomic index and collects (index, cell)
+            // pairs locally; the join below scatters them back into grid
+            // order, so scheduling jitter never reaches the caller.
+            let mut collected: Vec<Vec<(usize, SweepCell)>> = Vec::with_capacity(threads);
+            std::thread::scope(|s| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, self.run_cell(i / cols, i % cols)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    collected.push(w.join().expect("sweep worker panicked"));
+                }
+            });
+            for (i, cell) in collected.into_iter().flatten() {
+                slots[i] = Some(cell);
+            }
+        }
+
+        SweepReport {
+            name: self.name.clone(),
+            threads,
+            workloads: self.workloads.iter().map(|w| w.name.to_string()).collect(),
+            configs: self.configs.iter().map(|c| c.name().to_string()).collect(),
+            cells: slots
+                .into_iter()
+                .map(|c| c.expect("every cell executed"))
+                .collect(),
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        }
+    }
+
+    fn run_cell(&self, wi: usize, ci: usize) -> SweepCell {
+        let t = Instant::now();
+        let result = self.configs[ci].run(&self.workloads[wi], &self.run_config);
+        SweepCell {
+            result,
+            wall_ns: t.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// One executed grid cell.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The simulation outcome.
+    pub result: RunResult,
+    /// Wall time this cell took on its worker.
+    pub wall_ns: u64,
+}
+
+impl SweepCell {
+    /// Simulated cycles per wall-clock second — the engine-throughput
+    /// metric tracked across PRs.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.result.sim.cycles as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+/// An executed sweep: cells in workload-major grid order plus timing.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Sweep label.
+    pub name: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Row labels (workload names).
+    pub workloads: Vec<String>,
+    /// Column labels (configuration names).
+    pub configs: Vec<String>,
+    /// `workloads.len() × configs.len()` cells, workload-major.
+    pub cells: Vec<SweepCell>,
+    /// Whole-sweep wall time.
+    pub wall_ns: u64,
+}
+
+impl SweepReport {
+    /// The cell at (workload `wi`, configuration `ci`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn cell(&self, wi: usize, ci: usize) -> &SweepCell {
+        assert!(
+            wi < self.workloads.len() && ci < self.configs.len(),
+            "cell out of range"
+        );
+        &self.cells[wi * self.configs.len() + ci]
+    }
+
+    /// All cells of workload row `wi`, in configuration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi` is out of range.
+    pub fn row(&self, wi: usize) -> &[SweepCell] {
+        assert!(wi < self.workloads.len(), "row out of range");
+        &self.cells[wi * self.configs.len()..(wi + 1) * self.configs.len()]
+    }
+
+    /// Sum of per-cell wall times: what a serial execution of the same
+    /// work would have cost (measured inside this run, so it includes any
+    /// parallel-contention overhead — a conservative serial estimate).
+    pub fn serial_estimate_ns(&self) -> u64 {
+        self.cells.iter().map(|c| c.wall_ns).sum()
+    }
+
+    /// Wall-clock speedup of this run over the serial estimate.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.serial_estimate_ns() as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Total simulated cycles across the grid.
+    pub fn sim_cycles_total(&self) -> u64 {
+        self.cells.iter().map(|c| c.result.sim.cycles).sum()
+    }
+
+    /// Aggregate engine throughput: simulated cycles per wall second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.sim_cycles_total() as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// One-line human summary of the sweep's execution.
+    pub fn timing_summary(&self) -> String {
+        format!(
+            "{}: {} cells on {} threads in {:.2}s (serial est. {:.2}s, {:.2}x; {:.2}M sim cycles/s)",
+            self.name,
+            self.cells.len(),
+            self.threads,
+            self.wall_ns as f64 / 1e9,
+            self.serial_estimate_ns() as f64 / 1e9,
+            self.speedup_vs_serial(),
+            self.sim_cycles_per_sec() / 1e6,
+        )
+    }
+
+    /// Serialises the report as a single-line JSON object (the
+    /// `BENCH_sweep.json` schema — see DESIGN.md).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + 128 * self.cells.len());
+        s.push_str(&format!(
+            "{{\"name\":{},\"threads\":{},\"grid\":[{},{}],\"wall_ms\":{:.3},\
+             \"serial_estimate_ms\":{:.3},\"speedup_vs_serial\":{:.3},\
+             \"sim_cycles\":{},\"sim_cycles_per_sec\":{:.0},\"cells\":[",
+            json_str(&self.name),
+            self.threads,
+            self.workloads.len(),
+            self.configs.len(),
+            self.wall_ns as f64 / 1e6,
+            self.serial_estimate_ns() as f64 / 1e6,
+            self.speedup_vs_serial(),
+            self.sim_cycles_total(),
+            self.sim_cycles_per_sec(),
+        ));
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let r = &cell.result;
+            s.push_str(&format!(
+                "{{\"workload\":{},\"config\":{},\"wall_ms\":{:.3},\"cycles\":{},\
+                 \"cycles_per_sec\":{:.0},\"ipc\":{:.6}}}",
+                json_str(&r.workload),
+                json_str(&r.config),
+                cell.wall_ns as f64 / 1e6,
+                r.sim.cycles,
+                cell.sim_cycles_per_sec(),
+                r.ipc(),
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Writes (or replaces) this sweep's entry in the shared
+    /// `BENCH_sweep.json` perf-trajectory file. The file keeps one sweep
+    /// per line so entries can be merged without a JSON parser; see
+    /// DESIGN.md for the schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading or writing `path`.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        let mut entries: Vec<String> = Vec::new();
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            let my_key = format!("{{\"name\":{},", json_str(&self.name));
+            for line in existing.lines() {
+                let line = line.trim().trim_end_matches(',');
+                if line.starts_with("{\"name\":") && !line.starts_with(&my_key) {
+                    entries.push(line.to_string());
+                }
+            }
+        }
+        entries.push(self.to_json());
+        let mut out = String::from("{\"schema\":\"fuse-sweep-v1\",\"sweeps\":[\n");
+        out.push_str(&entries.join(",\n"));
+        out.push_str("\n]}\n");
+        std::fs::write(path, out)
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_workloads::by_name;
+
+    fn tiny_plan() -> SweepPlan {
+        SweepPlan::new("unit", RunConfig::smoke())
+            .workloads(by_name("ATAX"))
+            .workloads(by_name("gaussian"))
+            .presets(&[L1Preset::L1Sram, L1Preset::DyFuse])
+    }
+
+    #[test]
+    fn grid_order_is_workload_major() {
+        let r = tiny_plan().threads(2).run();
+        assert_eq!(r.workloads, vec!["ATAX", "gaussian"]);
+        assert_eq!(r.configs, vec!["L1-SRAM", "Dy-FUSE"]);
+        assert_eq!(r.cells.len(), 4);
+        assert_eq!(r.cell(0, 0).result.workload, "ATAX");
+        assert_eq!(r.cell(0, 1).result.config, "Dy-FUSE");
+        assert_eq!(r.cell(1, 0).result.workload, "gaussian");
+        assert_eq!(r.row(1)[1].result.config, "Dy-FUSE");
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let plan = tiny_plan();
+        let par = plan.threads(4).run();
+        let ser = tiny_plan().run_serial();
+        assert_eq!(par.cells.len(), ser.cells.len());
+        for (p, s) in par.cells.iter().zip(ser.cells.iter()) {
+            assert_eq!(
+                p.result.sim, s.result.sim,
+                "parallel cell diverged from serial"
+            );
+            assert_eq!(p.result.workload, s.result.workload);
+            assert_eq!(p.result.config, s.result.config);
+        }
+    }
+
+    #[test]
+    fn custom_columns_run() {
+        use fuse_core::config::dy_fuse_with_ratio;
+        let r = SweepPlan::new("ratio", RunConfig::smoke())
+            .workloads(by_name("ATAX"))
+            .custom("1/2", dy_fuse_with_ratio(1, 2))
+            .run();
+        assert_eq!(r.configs, vec!["1/2"]);
+        assert!(r.cell(0, 0).result.sim.instructions > 0);
+    }
+
+    #[test]
+    fn json_roundtrip_and_merge() {
+        let dir = std::env::temp_dir().join("fuse_sweep_json_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_sweep.json");
+        let _ = std::fs::remove_file(&path);
+
+        let r = tiny_plan().threads(2).run();
+        let js = r.to_json();
+        assert!(js.starts_with("{\"name\":\"unit\""));
+        assert!(js.contains("\"cells\":["));
+        assert!(js.contains("\"workload\":\"ATAX\""));
+
+        r.write_json(&path).expect("first write");
+        let mut other = r.clone();
+        other.name = "other".to_string();
+        other.write_json(&path).expect("second write");
+        // Re-writing "unit" replaces its line, keeps "other".
+        r.write_json(&path).expect("third write");
+        let content = std::fs::read_to_string(&path).expect("readable");
+        assert_eq!(content.matches("{\"name\":\"unit\"").count(), 1);
+        assert_eq!(content.matches("{\"name\":\"other\"").count(), 1);
+        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v1\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let p = SweepPlan::new("empty", RunConfig::smoke());
+        assert!(p.is_empty());
+        let r = p.run();
+        assert!(r.cells.is_empty());
+        assert_eq!(r.speedup_vs_serial(), 0.0_f64.max(r.speedup_vs_serial()));
+    }
+}

@@ -9,7 +9,10 @@ use fuse::runner::{run_l1_config, run_workload, RunConfig};
 use fuse::workloads::by_name;
 
 fn rc() -> RunConfig {
-    RunConfig { ops_scale: 0.4, ..RunConfig::standard() }
+    RunConfig {
+        ops_scale: 0.4,
+        ..RunConfig::standard()
+    }
 }
 
 #[test]
@@ -80,7 +83,10 @@ fn write_through_l1_multiplies_outgoing_write_traffic() {
     );
     // Write-back keeps dirty lines; write-through never writes back.
     assert!(wb.sim.l1.writebacks > 0);
-    assert_eq!(wt.sim.l1.writebacks, 0, "write-through lines are never dirty");
+    assert_eq!(
+        wt.sim.l1.writebacks, 0,
+        "write-through lines are never dirty"
+    );
 }
 
 #[test]

@@ -8,7 +8,10 @@ use fuse::workloads::by_name;
 
 fn run(workload: &str, preset: L1Preset) -> RunResult {
     let spec = by_name(workload).expect("known workload");
-    let rc = RunConfig { ops_scale: 0.5, ..RunConfig::standard() };
+    let rc = RunConfig {
+        ops_scale: 0.5,
+        ..RunConfig::standard()
+    };
     run_workload(&spec, preset, &rc)
 }
 
@@ -36,8 +39,14 @@ fn full_associativity_beats_set_conflicts_on_column_walks() {
     let base = run("ATAX", L1Preset::L1Sram);
     let fa_sram = run("ATAX", L1Preset::FaSram);
     let fa_fuse = run("ATAX", L1Preset::FaFuse);
-    assert!(fa_sram.ipc() > 1.3 * base.ipc(), "FA-SRAM should clearly win on ATAX");
-    assert!(fa_fuse.ipc() > 1.3 * base.ipc(), "FA-FUSE should clearly win on ATAX");
+    assert!(
+        fa_sram.ipc() > 1.3 * base.ipc(),
+        "FA-SRAM should clearly win on ATAX"
+    );
+    assert!(
+        fa_fuse.ipc() > 1.3 * base.ipc(),
+        "FA-FUSE should clearly win on ATAX"
+    );
     assert!(
         fa_fuse.miss_rate() < 0.5 * base.miss_rate(),
         "approximate full associativity must remove conflict misses: {} vs {}",
@@ -53,12 +62,18 @@ fn dy_fuse_beats_the_baseline_and_cuts_outgoing_references() {
     for w in ["ATAX", "MVT", "GESUM"] {
         let base = run(w, L1Preset::L1Sram);
         let dy = run(w, L1Preset::DyFuse);
-        assert!(dy.ipc() > 1.5 * base.ipc(), "{w}: Dy-FUSE speedup too small");
+        assert!(
+            dy.ipc() > 1.5 * base.ipc(),
+            "{w}: Dy-FUSE speedup too small"
+        );
         assert!(
             dy.outgoing_requests() < base.outgoing_requests(),
             "{w}: Dy-FUSE must reduce outgoing references"
         );
-        assert!(dy.l1_energy_nj() < base.l1_energy_nj(), "{w}: Dy-FUSE must save L1 energy");
+        assert!(
+            dy.l1_energy_nj() < base.l1_energy_nj(),
+            "{w}: Dy-FUSE must save L1 energy"
+        );
     }
 }
 
@@ -69,9 +84,18 @@ fn fuse_family_ordering_holds_on_irregular_workloads() {
     let base_fuse = run("BICG", L1Preset::BaseFuse);
     let fa_fuse = run("BICG", L1Preset::FaFuse);
     let dy_fuse = run("BICG", L1Preset::DyFuse);
-    assert!(base_fuse.ipc() >= 0.97 * hybrid.ipc(), "swap buffer + tag queue must not hurt");
-    assert!(fa_fuse.ipc() > 1.2 * base_fuse.ipc(), "full associativity is the big win");
-    assert!(dy_fuse.ipc() > 0.95 * fa_fuse.ipc(), "the predictor must not lose what FA won");
+    assert!(
+        base_fuse.ipc() >= 0.97 * hybrid.ipc(),
+        "swap buffer + tag queue must not hurt"
+    );
+    assert!(
+        fa_fuse.ipc() > 1.2 * base_fuse.ipc(),
+        "full associativity is the big win"
+    );
+    assert!(
+        dy_fuse.ipc() > 0.95 * fa_fuse.ipc(),
+        "the predictor must not lose what FA won"
+    );
 }
 
 #[test]
@@ -93,7 +117,10 @@ fn blocking_hybrid_pays_stt_write_stalls() {
     // Base-FUSE absorbs them with the swap buffer + tag queue.
     let hybrid = run("PVC", L1Preset::Hybrid);
     let base_fuse = run("PVC", L1Preset::BaseFuse);
-    assert!(hybrid.metrics.stt_busy_rejections > 0, "Hybrid must stall on STT writes");
+    assert!(
+        hybrid.metrics.stt_busy_rejections > 0,
+        "Hybrid must stall on STT writes"
+    );
     assert!(
         base_fuse.metrics.stt_busy_rejections < hybrid.metrics.stt_busy_rejections / 2,
         "Base-FUSE must remove most STT stalls: {} vs {}",
@@ -121,14 +148,20 @@ fn predictor_is_accurate_and_migrations_are_rare() {
         );
     }
     let flush_share = r.metrics.stt_write_updates as f64 / r.sim.l1.accesses() as f64;
-    assert!(flush_share < 0.15, "write updates should be rare, got {flush_share}");
+    assert!(
+        flush_share < 0.15,
+        "write updates should be rare, got {flush_share}"
+    );
 }
 
 #[test]
 fn volta_machine_preserves_the_ordering() {
     // Fig. 19: a bigger machine shrinks the gaps but keeps the order.
     let spec = by_name("ATAX").expect("known workload");
-    let rc = RunConfig { ops_scale: 0.1, ..RunConfig::volta() };
+    let rc = RunConfig {
+        ops_scale: 0.1,
+        ..RunConfig::volta()
+    };
     let base = run_workload(&spec, L1Preset::L1Sram, &rc);
     let dy = run_workload(&spec, L1Preset::DyFuse, &rc);
     assert!(dy.ipc() > base.ipc(), "Dy-FUSE must still win on Volta");

@@ -22,7 +22,10 @@ fn every_preset_completes_every_workload_class() {
             // The workload is fixed: every L1 design executes the same
             // instruction stream.
             let expect = *instructions.get_or_insert(r.sim.instructions);
-            assert_eq!(r.sim.instructions, expect, "{workload}/{preset}: instruction drift");
+            assert_eq!(
+                r.sim.instructions, expect,
+                "{workload}/{preset}: instruction drift"
+            );
         }
     }
 }
@@ -49,7 +52,12 @@ fn statistics_are_self_consistent() {
 
 #[test]
 fn runs_are_bit_deterministic() {
-    for preset in [L1Preset::L1Sram, L1Preset::FaFuse, L1Preset::DyFuse, L1Preset::Oracle] {
+    for preset in [
+        L1Preset::L1Sram,
+        L1Preset::FaFuse,
+        L1Preset::DyFuse,
+        L1Preset::Oracle,
+    ] {
         let a = smoke("BICG", preset);
         let b = smoke("BICG", preset);
         assert_eq!(a.sim, b.sim, "{preset}: non-deterministic simulation");

@@ -1,0 +1,64 @@
+//! The sweep engine's central guarantee: a parallel run of a grid is
+//! indistinguishable from a serial one — same cells, same order, bitwise
+//! identical statistics. Only wall-clock timing may differ.
+
+use fuse::core::config::L1Preset;
+use fuse::runner::RunConfig;
+use fuse::sweep::SweepPlan;
+use fuse::workloads::by_name;
+
+fn grid() -> SweepPlan {
+    // Three workloads with distinct character (regular, irregular,
+    // store-heavy behaviour) times three presets spanning the design
+    // space, under the smoke budget so the test stays fast.
+    SweepPlan::new("determinism", RunConfig::smoke())
+        .workloads(by_name("GEMM"))
+        .workloads(by_name("ATAX"))
+        .workloads(by_name("histo"))
+        .presets(&[L1Preset::L1Sram, L1Preset::ByNvm, L1Preset::DyFuse])
+}
+
+#[test]
+fn parallel_grid_matches_serial_bit_for_bit() {
+    let serial = grid().run_serial();
+    for threads in [2, 4] {
+        let parallel = grid().threads(threads).run();
+        assert_eq!(parallel.cells.len(), serial.cells.len());
+        assert_eq!(parallel.workloads, serial.workloads);
+        assert_eq!(parallel.configs, serial.configs);
+        for (p, s) in parallel.cells.iter().zip(serial.cells.iter()) {
+            assert_eq!(p.result.workload, s.result.workload);
+            assert_eq!(p.result.config, s.result.config);
+            assert_eq!(
+                p.result.sim, s.result.sim,
+                "{}-thread run diverged on {}/{}",
+                threads, s.result.workload, s.result.config
+            );
+            assert_eq!(p.result.metrics, s.result.metrics);
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_identical() {
+    let a = grid().threads(3).run();
+    let b = grid().threads(3).run();
+    for (x, y) in a.cells.iter().zip(b.cells.iter()) {
+        assert_eq!(x.result.sim, y.result.sim);
+    }
+}
+
+#[test]
+fn oversubscribed_pool_is_clamped_and_correct() {
+    // More threads than cells: the pool clamps to the grid size and every
+    // cell still lands in its slot.
+    let report = grid().threads(64).run();
+    assert!(report.threads <= report.cells.len());
+    for (wi, w) in report.workloads.iter().enumerate() {
+        for (ci, c) in report.configs.iter().enumerate() {
+            let cell = report.cell(wi, ci);
+            assert_eq!(&cell.result.workload, w);
+            assert_eq!(&cell.result.config, c);
+        }
+    }
+}

