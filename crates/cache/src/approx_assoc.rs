@@ -99,6 +99,10 @@ pub struct ApproxAssocStore {
     fifo_next: usize,
     cbfs: NvmCbfArray,
     valid_count: usize,
+    /// Positive-partition scratch reused across probes (a probe per L1
+    /// access makes this the simulator's hottest allocation site
+    /// otherwise).
+    positives_buf: Vec<usize>,
 }
 
 impl ApproxAssocStore {
@@ -130,6 +134,7 @@ impl ApproxAssocStore {
             ),
             cfg,
             valid_count: 0,
+            positives_buf: Vec::new(),
         }
     }
 
@@ -177,12 +182,13 @@ impl ApproxAssocStore {
     /// `ceil(lines_per_partition / comparators)` cycles, and a miss with no
     /// positive partitions resolves in a single cycle.
     pub fn probe(&mut self, line: LineAddr) -> ApproxProbe {
-        let positives = self.cbfs.test_all(line);
+        let mut positives = std::mem::take(&mut self.positives_buf);
+        self.cbfs.test_all_into(line, &mut positives);
         let per_partition = self.cycles_per_partition();
         let mut polled = 0u32;
         let mut false_pos = 0u32;
         let mut way = None;
-        for p in positives {
+        for &p in &positives {
             polled += 1;
             match self.poll_partition(p, line) {
                 Some(slot) => {
@@ -195,6 +201,7 @@ impl ApproxAssocStore {
                 }
             }
         }
+        self.positives_buf = positives;
         ApproxProbe {
             way,
             search_cycles: (polled * per_partition).max(1),

@@ -8,6 +8,10 @@
 
 use crate::line::LineAddr;
 
+/// Upper bound on hash functions for the stack-allocated key buffer
+/// ([`CountingBloomFilter::keys_into`]). The paper sweeps 1–5 (Fig. 20a).
+pub const MAX_HASHES: usize = 8;
+
 fn hash2(line: LineAddr) -> (u64, u64) {
     let h1 = line.mix();
     // An independent second mix (different odd multiplier).
@@ -16,6 +20,32 @@ fn hash2(line: LineAddr) -> (u64, u64) {
     z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
     let h2 = z ^ (z >> 33);
     (h1, h2 | 1) // odd step so all slots are reachable
+}
+
+/// Writes the double-hashed key sequence for `line` over a filter of
+/// `slots` counters and `hashes` hash functions into `buf`, returning the
+/// filled prefix. This is *the* key derivation for every Bloom variant in
+/// this crate: filters of equal geometry always agree on keys, which lets
+/// same-geometry filter arrays hash once per probe.
+///
+/// # Panics
+///
+/// Panics if `hashes` exceeds [`MAX_HASHES`] or `slots` is zero.
+pub fn line_keys(
+    line: LineAddr,
+    slots: usize,
+    hashes: u32,
+    buf: &mut [usize; MAX_HASHES],
+) -> &[usize] {
+    let n = hashes as usize;
+    assert!(n <= MAX_HASHES, "at most {MAX_HASHES} hash functions");
+    assert!(slots > 0, "filter geometry must be non-zero");
+    let (h1, h2) = hash2(line);
+    let m = slots as u64;
+    for (i, slot) in buf[..n].iter_mut().enumerate() {
+        *slot = (h1.wrapping_add((i as u64).wrapping_mul(h2)) % m) as usize;
+    }
+    &buf[..n]
 }
 
 /// Plain (non-counting) Bloom filter over line addresses.
@@ -57,9 +87,10 @@ impl BloomFilter {
 
     /// Inserts a member.
     pub fn insert(&mut self, line: LineAddr) {
-        let keys: Vec<usize> = self.keys(line).collect();
-        for k in keys {
-            self.bits[k] = true;
+        let (h1, h2) = hash2(line);
+        let m = self.bits.len() as u64;
+        for i in 0..self.hashes as u64 {
+            self.bits[(h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize] = true;
         }
     }
 
@@ -132,10 +163,30 @@ impl CountingBloomFilter {
         (0..self.hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
     }
 
+    /// Writes this filter's counter indices for `line` into `buf` and
+    /// returns the filled prefix (see [`line_keys`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter has more than [`MAX_HASHES`] hash functions.
+    pub fn keys_into<'a>(&self, line: LineAddr, buf: &'a mut [usize; MAX_HASHES]) -> &'a [usize] {
+        line_keys(line, self.counters.len(), self.hashes, buf)
+    }
+
+    /// Membership test against precomputed keys (see
+    /// [`CountingBloomFilter::keys_into`]). Equivalent to
+    /// [`CountingBloomFilter::test`] when the keys came from a filter of
+    /// identical geometry.
+    pub fn test_keys(&self, keys: &[usize]) -> bool {
+        keys.iter().all(|&k| self.counters[k] > 0)
+    }
+
     /// Records an insertion into the guarded set.
     pub fn increment(&mut self, line: LineAddr) {
-        let keys: Vec<usize> = self.keys(line).collect();
-        for k in keys {
+        let (h1, h2) = hash2(line);
+        let m = self.counters.len() as u64;
+        for i in 0..self.hashes as u64 {
+            let k = (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize;
             if self.counters[k] == self.max {
                 // Once saturated, the counter can no longer track removals;
                 // it must stick at max to preserve no-false-negatives.
@@ -151,8 +202,10 @@ impl CountingBloomFilter {
     /// Decrementing a member that was never inserted is a caller bug; it is
     /// detected (counter at zero) with a debug assertion.
     pub fn decrement(&mut self, line: LineAddr) {
-        let keys: Vec<usize> = self.keys(line).collect();
-        for k in keys {
+        let (h1, h2) = hash2(line);
+        let m = self.counters.len() as u64;
+        for i in 0..self.hashes as u64 {
+            let k = (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize;
             if self.saturated[k] {
                 continue; // sticky: cannot tell how many members remain
             }

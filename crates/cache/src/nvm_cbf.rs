@@ -10,7 +10,7 @@
 //! This module wraps one [`CountingBloomFilter`] per tag-array partition and
 //! tracks the event counts the energy model and Fig. 20 need.
 
-use crate::bloom::CountingBloomFilter;
+use crate::bloom::{line_keys, MAX_HASHES};
 use crate::line::LineAddr;
 
 /// Statistics of CBF usage.
@@ -57,7 +57,18 @@ impl CbfStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct NvmCbfArray {
-    filters: Vec<CountingBloomFilter>,
+    num_filters: usize,
+    slots: usize,
+    hashes: u32,
+    max: u8,
+    /// All filters' counters, slot-major: `counters[k * num_filters + f]`
+    /// is filter `f`'s counter `k`. A whole-array *test* reads one
+    /// contiguous `num_filters`-byte row per hash key — the physical
+    /// analogue of the paper's all-filters-in-parallel sensing, and the
+    /// layout that keeps the simulator's hottest loop in cache.
+    counters: Vec<u8>,
+    /// Sticky saturation flags, same layout as `counters`.
+    saturated: Vec<bool>,
     stats: CbfStats,
 }
 
@@ -67,36 +78,61 @@ impl NvmCbfArray {
     ///
     /// # Panics
     ///
-    /// Panics if `num_filters` is zero (inner geometry is validated by
-    /// [`CountingBloomFilter::new`]).
+    /// Panics if any parameter is zero, `counter_bits > 7`, or `hashes`
+    /// exceeds [`MAX_HASHES`].
     pub fn new(num_filters: usize, slots: usize, hashes: u32, counter_bits: u32) -> Self {
         assert!(num_filters > 0, "need at least one filter");
+        assert!(slots > 0 && hashes > 0, "filter geometry must be non-zero");
+        assert!(
+            (1..=7).contains(&counter_bits),
+            "counter width must be 1..=7 bits"
+        );
+        assert!(
+            hashes as usize <= MAX_HASHES,
+            "at most {MAX_HASHES} hash functions"
+        );
         NvmCbfArray {
-            filters: (0..num_filters)
-                .map(|_| CountingBloomFilter::new(slots, hashes, counter_bits))
-                .collect(),
+            num_filters,
+            slots,
+            hashes,
+            max: ((1u16 << counter_bits) - 1) as u8,
+            counters: vec![0; num_filters * slots],
+            saturated: vec![false; num_filters * slots],
             stats: CbfStats::default(),
         }
     }
 
     /// Number of filters (= tag partitions).
     pub fn num_filters(&self) -> usize {
-        self.filters.len()
+        self.num_filters
     }
 
     /// Tests every filter in parallel (one NVM-CBF *test* operation) and
     /// returns the indices of the positive partitions, in index order.
     pub fn test_all(&mut self, line: LineAddr) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.test_all_into(line, &mut out);
+        out
+    }
+
+    /// Allocation-free [`NvmCbfArray::test_all`]: writes the positive
+    /// partition indices into `out` (cleared first), in index order. The
+    /// filters share one geometry, so the hash keys are computed once;
+    /// each key then reads one contiguous counter row, and the candidate
+    /// list shrinks monotonically key over key.
+    pub fn test_all_into(&mut self, line: LineAddr, out: &mut Vec<usize>) {
         self.stats.tests += 1;
-        let positives: Vec<usize> = self
-            .filters
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.test(line))
-            .map(|(i, _)| i)
-            .collect();
-        self.stats.positives += positives.len() as u64;
-        positives
+        out.clear();
+        let nf = self.num_filters;
+        let mut keybuf = [0usize; MAX_HASHES];
+        let keys = line_keys(line, self.slots, self.hashes, &mut keybuf);
+        let first = &self.counters[keys[0] * nf..(keys[0] + 1) * nf];
+        out.extend((0..nf).filter(|&f| first[f] > 0));
+        for &k in &keys[1..] {
+            let row = &self.counters[k * nf..(k + 1) * nf];
+            out.retain(|&f| row[f] > 0);
+        }
+        self.stats.positives += out.len() as u64;
     }
 
     /// Records that the positive response of some partition was false
@@ -108,13 +144,32 @@ impl NvmCbfArray {
     /// Inserts `line` into partition `p`'s filter.
     pub fn increment(&mut self, p: usize, line: LineAddr) {
         self.stats.increments += 1;
-        self.filters[p].increment(line);
+        let mut keybuf = [0usize; MAX_HASHES];
+        for &k in line_keys(line, self.slots, self.hashes, &mut keybuf) {
+            let i = k * self.num_filters + p;
+            if self.counters[i] == self.max {
+                // Once saturated, the counter can no longer track
+                // removals; it must stick at max to preserve
+                // no-false-negatives.
+                self.saturated[i] = true;
+            } else {
+                self.counters[i] += 1;
+            }
+        }
     }
 
     /// Removes `line` from partition `p`'s filter.
     pub fn decrement(&mut self, p: usize, line: LineAddr) {
         self.stats.decrements += 1;
-        self.filters[p].decrement(line);
+        let mut keybuf = [0usize; MAX_HASHES];
+        for &k in line_keys(line, self.slots, self.hashes, &mut keybuf) {
+            let i = k * self.num_filters + p;
+            if self.saturated[i] {
+                continue; // sticky: cannot tell how many members remain
+            }
+            debug_assert!(self.counters[i] > 0, "decrement of non-member {line}");
+            self.counters[i] = self.counters[i].saturating_sub(1);
+        }
     }
 
     /// Usage statistics.

@@ -70,6 +70,14 @@ impl SwapBuffer {
         self.entries.is_empty()
     }
 
+    /// Migrations currently parked. The cycle-skipping engine relies on
+    /// every parked entry being covered by a queued or replayable tag
+    /// command (`swap.len() <= tq.len() + replay.len()`), so the
+    /// controller's quiescence check asserts against this count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Highest simultaneous occupancy observed.
     pub fn peak(&self) -> usize {
         self.peak

@@ -4,8 +4,15 @@
 //! (`By-NVM`, `Hybrid`, `Base-FUSE`), the L2 slices, and — with a single
 //! set — the exact fully-associative `FA-SRAM` baseline.
 
+use std::collections::HashMap;
+
 use crate::line::LineAddr;
 use crate::replacement::{PolicyKind, ReplState};
+
+/// Associativity at or above which a probe goes through a hash index
+/// instead of a linear way scan. Narrow arrays stay scan-based: the scan
+/// is a few comparisons over one cache line, cheaper than hashing.
+const INDEXED_WAYS: usize = 16;
 
 /// One tag entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +57,10 @@ pub struct TagArray {
     entries: Vec<TagEntry>,
     repl: Vec<ReplState>,
     valid_count: usize,
+    /// Line → entry index, maintained for wide (e.g. fully-associative)
+    /// arrays where the way scan dominates; `None` on narrow arrays.
+    /// Purely an acceleration structure — it never changes outcomes.
+    index: Option<HashMap<LineAddr, u32>>,
 }
 
 impl TagArray {
@@ -71,6 +82,7 @@ impl TagArray {
             entries: vec![TagEntry::INVALID; sets * ways],
             repl: (0..sets).map(|_| ReplState::new(policy, ways)).collect(),
             valid_count: 0,
+            index: (ways >= INDEXED_WAYS).then(HashMap::new),
         }
     }
 
@@ -101,6 +113,11 @@ impl TagArray {
 
     /// Checks for `line` without disturbing replacement state.
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
+        if let Some(ix) = &self.index {
+            let i = *ix.get(&line)? as usize;
+            debug_assert!(self.entries[i].valid && self.entries[i].line == line);
+            return Some(i);
+        }
         let set = self.set_index(line);
         let base = set * self.ways;
         (0..self.ways)
@@ -109,7 +126,9 @@ impl TagArray {
     }
 
     /// Looks up `line`, updating replacement recency on a hit; returns the
-    /// entry for in-place mutation (e.g. setting the dirty bit).
+    /// entry for in-place mutation (e.g. setting the dirty bit). The
+    /// returned entry's `line` and `valid` fields must not be changed —
+    /// the array's lookup index assumes they are stable.
     pub fn touch(&mut self, line: LineAddr) -> Option<&mut TagEntry> {
         let idx = self.probe(line)?;
         let set = idx / self.ways;
@@ -143,6 +162,12 @@ impl TagArray {
         if !evicted.valid {
             self.valid_count += 1;
         }
+        if let Some(ix) = &mut self.index {
+            if evicted.valid {
+                ix.remove(&evicted.line);
+            }
+            ix.insert(line, idx as u32);
+        }
         evicted.valid.then_some(evicted)
     }
 
@@ -152,6 +177,9 @@ impl TagArray {
         let entry = self.entries[idx];
         self.entries[idx] = TagEntry::INVALID;
         self.valid_count -= 1;
+        if let Some(ix) = &mut self.index {
+            ix.remove(&line);
+        }
         Some(entry)
     }
 

@@ -667,6 +667,43 @@ impl L1dModel for FuseL1 {
         out.append(&mut self.completions);
     }
 
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // Undrained buffers must reach the SM/engine on the next tick.
+        if !self.outgoing.is_empty() || !self.completions.is_empty() {
+            return Some(now);
+        }
+        let mut earliest: Option<u64> = None;
+        let mut fold = |t: u64| {
+            let t = t.max(now);
+            earliest = Some(earliest.map_or(t, |c: u64| c.min(t)));
+        };
+        // Refresh fires one interval per tick, so the scheduled instant is
+        // always a barrier; the engine may jump to it but never past it.
+        if self.stt_refresh.is_some() {
+            fold(self.next_refresh_at);
+        }
+        // Bank-gated work — blocked fills, tag-queue commands, replayed
+        // flush victims — advances the first tick the STT bank is free.
+        if !self.blocked_fills.is_empty()
+            || !self.replay.is_empty()
+            || self.tq.as_ref().is_some_and(|tq| !tq.is_empty())
+        {
+            fold(self.stt_busy_until);
+        }
+        for &(_, ready) in &self.pending_reads {
+            fold(ready);
+        }
+        // Skip-safety invariant: a parked migration with no covering tag
+        // command would make the controller look quiescent while work
+        // remains, silently deadlocking a skipped run.
+        debug_assert!(
+            self.swap.as_ref().map_or(0, |s| s.len())
+                <= self.tq.as_ref().map_or(0, |tq| tq.len()) + self.replay.len(),
+            "swap-buffer entry without a queued or replayable command"
+        );
+        earliest
+    }
+
     fn stats(&self) -> CacheStats {
         self.stats
     }

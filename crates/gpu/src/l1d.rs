@@ -104,6 +104,19 @@ pub trait L1dModel {
     /// line request).
     fn drain_completions(&mut self, out: &mut Vec<u16>);
 
+    /// Earliest cycle at or after `now` at which this L1 could change
+    /// observable state without external input: undrained outgoing
+    /// requests or completions, a pipeline retire, a bank-busy expiry, a
+    /// scheduled refresh… `None` means the model is quiescent until the
+    /// next [`L1dModel::access`] or [`L1dModel::push_response`]. The
+    /// engine's cycle-skipping fast-forwards the clock over spans with no
+    /// event anywhere (see `GpuSystem::run`), so a conservative answer
+    /// must err early: the default claims an event every cycle, which
+    /// disables skipping around the model but is always correct.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        Some(now)
+    }
+
     /// Hit/miss statistics.
     fn stats(&self) -> CacheStats;
 
@@ -228,6 +241,16 @@ impl L1dModel for IdealL1 {
 
     fn drain_completions(&mut self, out: &mut Vec<u16>) {
         out.append(&mut self.completions);
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // No internal pipelines: the only events are undrained buffers
+        // (which the SM and the engine pick up on the next tick).
+        if self.outgoing.is_empty() && self.completions.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
     }
 
     fn stats(&self) -> CacheStats {

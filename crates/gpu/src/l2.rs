@@ -110,6 +110,16 @@ impl L2Bank {
         self.inbox.len()
     }
 
+    /// Earliest cycle at or after `now` whose tick would service a
+    /// packet: the ready time at the head of the inbox. The inbox is FIFO
+    /// by ready time (every push — delivery or retry — stamps
+    /// `push-cycle + latency` with a constant latency), so the head is the
+    /// minimum. `None` when the inbox is empty; outstanding misses in the
+    /// pending table wake via [`L2Bank::dram_fill`], an external event.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        self.inbox.front().map(|&(at, _)| at.max(now))
+    }
+
     /// Total bank accesses (for the energy model).
     pub fn accesses(&self) -> u64 {
         self.accesses
@@ -315,6 +325,24 @@ mod tests {
             1,
             "retry succeeds after fill frees a slot"
         );
+    }
+
+    #[test]
+    fn next_event_is_the_inbox_head() {
+        let mut bank = L2Bank::new(16, 4, 30, 8);
+        assert_eq!(bank.next_event(0), None);
+        bank.enqueue(read(1, 3), 0); // ready at 30
+        assert_eq!(bank.next_event(1), Some(30));
+        assert_eq!(
+            bank.next_event(50),
+            Some(50),
+            "overdue packets clamp to now"
+        );
+        let mut out = L2Output::default();
+        bank.tick(30, &mut out);
+        assert_eq!(bank.next_event(31), None);
+        // The outstanding miss is not an intrinsic event: it waits on DRAM.
+        assert!(!bank.is_idle());
     }
 
     #[test]

@@ -53,7 +53,6 @@ pub struct SmStats {
 
 #[derive(Debug, Default)]
 struct WarpState {
-    busy_until: u64,
     outstanding: u32,
     pending: VecDeque<(LineAddr, bool, u32)>, // (line, is_store, pc)
     finished: bool,
@@ -83,6 +82,28 @@ pub struct Sm {
     /// every warp retired, making [`Sm::done`] O(1) so the engine can
     /// check for drain every cycle.
     live: u64,
+    /// The warp holding un-replayed coalesced lines, if any. At most one
+    /// warp can hold the LSU: Phase A replays it exclusively until its
+    /// lines drain, and only then can Phase B issue another memory op —
+    /// so Phase A is a single lookup, not a scan.
+    lsu_warp: Option<u16>,
+    /// Warps with outstanding loads. With `lsu_warp` this makes the
+    /// issue-bubble classification (mem stall vs idle) O(1).
+    waiting_warps: usize,
+    /// Activated, unfinished warps with no outstanding loads — the Phase B
+    /// candidate pool (busy-on-compute warps included). Zero lets the
+    /// issue stage skip the Phase B scan.
+    ready_warps: usize,
+    /// Finished warps. Every finished warp is retired (it can only finish
+    /// with nothing outstanding or pending), so the throttle's running-warp
+    /// count is `activated - finished_warps` without a scan.
+    finished_warps: usize,
+    /// Packed per-warp issue-eligibility horizon: the compute-delay expiry
+    /// for a runnable warp, `u64::MAX` for one that is finished or blocked
+    /// on outstanding loads. Folds the Phase B candidate test into one
+    /// comparison over a dense array instead of three loads from the
+    /// pointer-laden [`WarpState`].
+    wake_at: Vec<u64>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -132,6 +153,11 @@ impl Sm {
             policy: SchedulerPolicy::Lrr,
             last_issued: 0,
             live: n as u64,
+            lsu_warp: None,
+            waiting_warps: 0,
+            ready_warps: warp_limit.min(n),
+            finished_warps: 0,
+            wake_at: vec![0; n],
         }
     }
 
@@ -181,27 +207,85 @@ impl Sm {
             debug_assert!(self.warps[w].outstanding > 0, "spurious completion");
             self.warps[w].outstanding -= 1;
             self.live -= 1;
+            if self.warps[w].outstanding == 0 {
+                // A warp with loads in flight is never finished, so it
+                // rejoins the Phase B pool the moment the last fill lands.
+                // Its compute delay expired before the memory op issued,
+                // so it is issuable immediately.
+                self.waiting_warps -= 1;
+                self.ready_warps += 1;
+                self.wake_at[w] = now;
+            }
         }
         // Throttling: release slots of retired warps to waiting ones.
         if self.activated < self.warps.len() {
-            let running = self.warps[..self.activated]
-                .iter()
-                .filter(|w| !w.retired())
-                .count();
+            let running = self.activated - self.finished_warps;
             let free = self.warp_limit.saturating_sub(running);
-            self.activated = (self.activated + free).min(self.warps.len());
+            let grown = (self.activated + free).min(self.warps.len());
+            // Newly activated warps are fresh: unfinished, nothing in
+            // flight — straight into the candidate pool.
+            self.ready_warps += grown - self.activated;
+            self.activated = grown;
         }
         self.issue(now);
     }
 
+    /// Earliest cycle at or after `now` at which this SM could do
+    /// anything observable: an L1 event, a warp retrying its coalesced
+    /// access (every cycle — even rejections mutate L1 statistics), or a
+    /// warp becoming issuable when its compute delay expires. Returns
+    /// `None` when every warp is permanently blocked on external input
+    /// (outstanding loads) or retired.
+    ///
+    /// The scan covers the *would-be* activation window: `tick` expands
+    /// `activated` before issuing, so a warp whose slot frees this cycle
+    /// (because an earlier warp retired last cycle) can issue immediately
+    /// and must count as an event now.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.lsu_warp.is_some() {
+            return Some(now); // Phase A retries every cycle
+        }
+        let mut earliest = match self.l1.next_event(now) {
+            Some(t) if t <= now => return Some(now),
+            e => e,
+        };
+        let n = if self.activated < self.warps.len() {
+            let running = self.activated - self.finished_warps;
+            (self.activated + self.warp_limit.saturating_sub(running)).min(self.warps.len())
+        } else {
+            self.activated
+        };
+        for &t in &self.wake_at[..n] {
+            if t <= now {
+                return Some(now); // issuable (or retiring) this cycle
+            }
+            if t != u64::MAX {
+                earliest = Some(earliest.map_or(t, |c: u64| c.min(t)));
+            }
+            // MAX: finished, or blocked until a completion (an L1 event).
+        }
+        earliest
+    }
+
+    /// Bulk-credits `span` skipped cycles of stall classification, exactly
+    /// as `span` issue-less ticks would have: the bubble is a memory stall
+    /// while any warp waits on loads (or holds unreplayed coalesced
+    /// lines), idle otherwise. Warp state cannot change inside a skipped
+    /// span (every change is an event), so one classification covers it.
+    pub fn advance_idle(&mut self, span: u64) {
+        if self.waiting_warps > 0 || self.lsu_warp.is_some() {
+            self.stats.mem_stall_cycles += span;
+        } else {
+            self.stats.idle_cycles += span;
+        }
+    }
+
     fn issue(&mut self, now: u64) {
         let n = self.activated;
-        // Phase A: a warp still holding the LSU finishes its coalesced
+        // Phase A: the warp still holding the LSU finishes its coalesced
         // access first.
-        if let Some(wi) = (0..n)
-            .map(|o| (self.rr + o) % n)
-            .find(|&w| !self.warps[w].pending.is_empty())
-        {
+        if let Some(wi) = self.lsu_warp {
+            let wi = wi as usize;
             if self.issue_pending(now, wi) {
                 self.stats.issue_cycles += 1;
             } else {
@@ -210,8 +294,9 @@ impl Sm {
             return;
         }
         // Phase B: fetch a new instruction from a ready warp, in
-        // policy-defined preference order.
-        for off in 0..n {
+        // policy-defined preference order. An empty candidate pool (every
+        // warp finished or blocked on memory) skips the scan outright.
+        for off in 0..if self.ready_warps > 0 { n } else { 0 } {
             let wi = match self.policy {
                 SchedulerPolicy::Lrr => (self.rr + off) % n,
                 // GTO: the greedy warp first, then oldest-first over the
@@ -227,22 +312,22 @@ impl Sm {
                     }
                 }
             };
-            {
-                let w = &self.warps[wi];
-                if w.finished || w.busy_until > now || w.outstanding > 0 {
-                    continue;
-                }
+            if self.wake_at[wi] > now {
+                continue; // finished, blocked on memory, or in compute delay
             }
             match self.programs[wi].next_op() {
                 None => {
                     self.warps[wi].finished = true;
                     self.live -= 1;
+                    self.ready_warps -= 1;
+                    self.finished_warps += 1;
+                    self.wake_at[wi] = u64::MAX;
                     continue; // retiring is free; keep scanning
                 }
                 Some(WarpOp::Compute { cycles }) => {
                     self.stats.instructions += 1;
                     self.stats.issue_cycles += 1;
-                    self.warps[wi].busy_until = now + cycles.max(1) as u64;
+                    self.wake_at[wi] = now + cycles.max(1) as u64;
                     self.rr = (wi + 1) % n;
                     self.last_issued = wi;
                     return;
@@ -253,9 +338,11 @@ impl Sm {
                     let lines = coalesce(&op);
                     self.live += lines.len() as u64;
                     let w = &mut self.warps[wi];
+                    debug_assert!(w.pending.is_empty(), "Phase B warp holds the LSU");
                     for line in lines {
                         w.pending.push_back((line, op.is_store, op.pc));
                     }
+                    self.lsu_warp = Some(wi as u16);
                     self.issue_pending(now, wi);
                     self.rr = (wi + 1) % n;
                     self.last_issued = wi;
@@ -264,11 +351,7 @@ impl Sm {
             }
         }
         // Nothing issued this cycle: classify the bubble.
-        if self
-            .warps
-            .iter()
-            .any(|w| w.outstanding > 0 || !w.pending.is_empty())
-        {
+        if self.waiting_warps > 0 || self.lsu_warp.is_some() {
             self.stats.mem_stall_cycles += 1;
         } else {
             self.stats.idle_cycles += 1;
@@ -278,6 +361,7 @@ impl Sm {
     /// Issues up to [`L1_PORT_WIDTH`] of warp `wi`'s pending line requests
     /// this cycle; returns whether any made progress.
     fn issue_pending(&mut self, now: u64, wi: usize) -> bool {
+        let had_outstanding = self.warps[wi].outstanding > 0;
         let mut progress = false;
         let mut budget = L1_PORT_WIDTH;
         while let Some(&(line, is_store, pc)) = self.warps[wi].pending.front() {
@@ -309,6 +393,15 @@ impl Sm {
                 }
                 L1Outcome::ReservationFail => break,
             }
+        }
+        let w = &self.warps[wi];
+        if w.pending.is_empty() {
+            self.lsu_warp = None; // LSU released
+        }
+        if !had_outstanding && w.outstanding > 0 {
+            self.waiting_warps += 1;
+            self.ready_warps -= 1; // blocked on memory until the fills land
+            self.wake_at[wi] = u64::MAX;
         }
         progress
     }
@@ -418,6 +511,79 @@ mod tests {
         assert!(sm.done());
         let stats = sm.l1().stats();
         assert_eq!(stats.misses, 32);
+    }
+
+    #[test]
+    fn next_event_skips_compute_delays_and_blocks_on_loads() {
+        let prog = StreamProgram::new(vec![
+            WarpOp::Compute { cycles: 10 },
+            mem(0x10, 0x1000, false),
+        ]);
+        let mut sm = Sm::new(Box::new(IdealL1::new()), vec![Box::new(prog)]);
+        sm.tick(0); // issues the compute; busy until 10
+        assert_eq!(sm.next_event(1), Some(10), "compute expiry is the event");
+        for now in 1..10 {
+            sm.tick(now); // dead cycles: nothing issuable
+        }
+        let idle_before = sm.stats().idle_cycles;
+        assert_eq!(idle_before, 9, "cycles 1..10 are idle bubbles");
+        sm.tick(10); // issues the load; miss goes to the L1's buffer
+        assert_eq!(
+            sm.next_event(11),
+            Some(11),
+            "undrained outgoing request pins the SM"
+        );
+        let mut out = Vec::new();
+        sm.drain_outgoing(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            sm.next_event(11),
+            None,
+            "warp blocked on an outstanding load has no intrinsic event"
+        );
+    }
+
+    #[test]
+    fn advance_idle_matches_ticked_classification() {
+        // One warp blocked on a load: dead cycles classify as mem stall.
+        let mk = || {
+            let mut sm = Sm::new(
+                Box::new(IdealL1::new()),
+                vec![Box::new(StreamProgram::new(vec![mem(0, 0, false)]))],
+            );
+            sm.tick(0);
+            let mut out = Vec::new();
+            sm.drain_outgoing(&mut out);
+            sm
+        };
+        let mut ticked = mk();
+        let mut skipped = mk();
+        for now in 1..21 {
+            ticked.tick(now);
+        }
+        skipped.advance_idle(20);
+        assert_eq!(ticked.stats(), skipped.stats());
+    }
+
+    #[test]
+    fn next_event_sees_warps_the_throttle_will_activate() {
+        // Warp 0 retires at tick 0; the throttle slot frees, so warp 1 —
+        // outside the *current* activation window — can issue next tick.
+        let p0 = StreamProgram::new(vec![]);
+        let p1 = StreamProgram::new(vec![WarpOp::Compute { cycles: 1 }]);
+        let mut sm = Sm::with_warp_limit(
+            Box::new(IdealL1::new()),
+            vec![Box::new(p0), Box::new(p1)],
+            1,
+        );
+        sm.tick(0); // warp 0 retires during the issue scan
+        assert_eq!(
+            sm.next_event(1),
+            Some(1),
+            "newly activatable warp is an immediate event"
+        );
+        sm.tick(1);
+        assert_eq!(sm.stats().instructions, 1);
     }
 
     #[test]

@@ -37,12 +37,6 @@ struct Trace {
     t_l2_out: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct PendingDram {
-    channel: usize,
-    request: DramRequest,
-}
-
 /// The simulated GPU.
 ///
 /// Construct with an L1 factory (one L1D per SM — this is where the FUSE
@@ -60,7 +54,19 @@ pub struct GpuSystem {
     traces: Slab<Trace>,
     /// Outstanding DRAM reads; the DRAM request id is the slab slot.
     dram_reads: Slab<(usize, LineAddr)>,
-    pending_dram: VecDeque<PendingDram>,
+    /// Per-channel retry queues for pushes that found the channel full. A
+    /// single global queue would head-of-line block: the first request
+    /// stuck on a full channel would also stall requests destined for
+    /// channels with room.
+    pending_dram: Vec<VecDeque<DramRequest>>,
+    /// Total entries across `pending_dram` (O(1) `is_done` term).
+    pending_dram_total: usize,
+    /// Event-driven cycle skipping: when a tick ends with nothing due,
+    /// jump the clock to the earliest component event instead of grinding
+    /// through dead cycles. Statistics are bulk-credited so `SimStats` is
+    /// bitwise identical either way.
+    skip: bool,
+    skipped_cycles: u64,
     cycle: u64,
     net_residency: u64,
     mem_residency: u64,
@@ -126,10 +132,13 @@ impl GpuSystem {
             sms,
             l2,
             dram,
-            cfg,
             traces: Slab::new(),
             dram_reads: Slab::new(),
-            pending_dram: VecDeque::new(),
+            pending_dram: (0..cfg.dram_channels).map(|_| VecDeque::new()).collect(),
+            pending_dram_total: 0,
+            skip: true,
+            skipped_cycles: 0,
+            cfg,
             cycle: 0,
             net_residency: 0,
             mem_residency: 0,
@@ -157,6 +166,21 @@ impl GpuSystem {
         self.sms[sm].l1()
     }
 
+    /// Enables or disables event-driven cycle skipping (on by default).
+    /// The engines are observationally equivalent — [`SimStats`] is
+    /// bitwise identical — so turning skipping off is only useful for
+    /// debugging the skip logic itself or timing the cycle-by-cycle path.
+    pub fn set_cycle_skipping(&mut self, on: bool) {
+        self.skip = on;
+    }
+
+    /// Cycles the run fast-forwarded over instead of ticking (0 with
+    /// skipping disabled). Deliberately *not* part of [`SimStats`]: the
+    /// two engines must produce identical statistics.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
     /// Runs until every warp retires and the hierarchy drains, or
     /// `max_cycles` elapses. Returns the run's statistics.
     pub fn run(&mut self, max_cycles: u64) -> SimStats {
@@ -167,6 +191,19 @@ impl GpuSystem {
             // cycle the hierarchy drains (no % 64 overshoot).
             if self.is_done() {
                 break;
+            }
+            if self.skip {
+                let now = self.cycle;
+                let target = match self.next_event_cycle(now) {
+                    Some(t) => t.min(max_cycles),
+                    // No component will ever act again without input that
+                    // is not coming (possible only under a cycle cap a
+                    // workload outruns): burn the rest of the budget.
+                    None => max_cycles,
+                };
+                if target > now {
+                    self.advance_idle(target - now);
+                }
             }
         }
         self.stats()
@@ -180,9 +217,73 @@ impl GpuSystem {
             && self.req_net.is_idle()
             && self.rsp_net.is_idle()
             && self.traces.is_empty()
-            && self.pending_dram.is_empty()
+            && self.pending_dram_total == 0
             && self.l2.iter().all(|b| b.is_idle())
             && self.dram.iter().all(|c| c.occupancy() == 0)
+    }
+
+    /// The earliest cycle at or after `now` at which *any* component does
+    /// observable work — the cycle the engine may fast-forward to. `None`
+    /// when every component is quiescent (deadlock: only reachable under
+    /// a cycle cap). Returns early with `Some(now)` as soon as anything
+    /// is due immediately, so the common can't-skip case stays cheap.
+    fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        // DRAM retry queues are serviced (and count channel rejections)
+        // every cycle they are non-empty: a hard barrier.
+        if self.pending_dram_total > 0 {
+            return Some(now);
+        }
+        let mut earliest = u64::MAX;
+        let mut fold = |e: Option<u64>| -> bool {
+            match e {
+                Some(t) => {
+                    debug_assert!(t >= now, "component scheduled an event in the past");
+                    earliest = earliest.min(t);
+                    t <= now
+                }
+                None => false,
+            }
+        };
+        if fold(self.req_net.next_event(now)) || fold(self.rsp_net.next_event(now)) {
+            return Some(now);
+        }
+        for b in &self.l2 {
+            if fold(b.next_event(now)) {
+                return Some(now);
+            }
+        }
+        for c in &self.dram {
+            if fold(c.next_event(now)) {
+                return Some(now);
+            }
+        }
+        for sm in &self.sms {
+            if fold(sm.next_event(now)) {
+                return Some(now);
+            }
+        }
+        if earliest == u64::MAX {
+            None
+        } else {
+            Some(earliest)
+        }
+    }
+
+    /// Fast-forwards the clock over `span` cycles in which no component
+    /// has work, bulk-crediting every per-cycle statistic exactly as the
+    /// ticked engine would have accrued it: interconnect cycle/queue-depth
+    /// counters and per-SM stall classification. All other state is
+    /// provably unchanged by a dead tick (see DESIGN.md, "Event-driven
+    /// cycle skipping").
+    fn advance_idle(&mut self, span: u64) {
+        debug_assert!(span > 0, "empty skip");
+        for sm in &mut self.sms {
+            sm.advance_idle(span);
+        }
+        self.req_net.advance_idle(span);
+        self.rsp_net.advance_idle(span);
+        self.cycle += span;
+        self.skipped_cycles += span;
     }
 
     fn tick(&mut self) {
@@ -247,14 +348,17 @@ impl GpuSystem {
             self.handle_l2_output(bi, &mut out, now);
         }
 
-        // 5. Retry DRAM pushes that found a full channel queue.
-        while let Some(front) = self.pending_dram.front().copied() {
-            let mut req = front.request;
-            req.arrival = req.arrival.min(now);
-            if self.dram[front.channel].try_push(req) {
-                self.pending_dram.pop_front();
-            } else {
-                break;
+        // 5. Retry DRAM pushes that found a full channel queue — per
+        // channel, so one full channel cannot head-of-line block traffic
+        // destined for channels with room.
+        for ch in 0..self.dram.len() {
+            while let Some(&req) = self.pending_dram[ch].front() {
+                if self.dram[ch].try_push(req) {
+                    self.pending_dram[ch].pop_front();
+                    self.pending_dram_total -= 1;
+                } else {
+                    break;
+                }
             }
         }
 
@@ -343,9 +447,11 @@ impl GpuSystem {
             is_write: !is_read,
             arrival: now,
         };
-        if !self.pending_dram.is_empty() || !self.dram[channel].try_push(request) {
-            self.pending_dram
-                .push_back(PendingDram { channel, request });
+        // FIFO per channel: if this channel already has deferred pushes,
+        // queue behind them rather than jumping ahead.
+        if !self.pending_dram[channel].is_empty() || !self.dram[channel].try_push(request) {
+            self.pending_dram[channel].push_back(request);
+            self.pending_dram_total += 1;
         }
     }
 
@@ -494,6 +600,105 @@ mod tests {
             sys.run(1_000_000)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn full_channel_does_not_block_other_channels() {
+        // A 1-deep channel queue makes the second push to channel 0 defer;
+        // a push to channel 1 must still land immediately. The old single
+        // global retry queue would have deferred it behind channel 0's.
+        let cfg = GpuConfig {
+            num_sms: 1,
+            warps_per_sm: 1,
+            dram: fuse_mem::dram::DramTiming {
+                queue_capacity: 1,
+                ..GpuConfig::gtx480().dram
+            },
+            ..GpuConfig::gtx480()
+        };
+        let banks_per_channel = cfg.l2_banks / cfg.dram_channels;
+        let mut sys = GpuSystem::new(
+            cfg,
+            |_| Box::new(IdealL1::new()),
+            |_, _| Box::new(StreamProgram::new(Vec::new())) as Box<dyn WarpProgram>,
+        );
+        // Writes carry NO_SLOT: no trace or slab bookkeeping to satisfy.
+        sys.queue_dram(0, LineAddr(0), false, 0);
+        sys.queue_dram(0, LineAddr(1), false, 0);
+        sys.queue_dram(banks_per_channel, LineAddr(2), false, 0);
+        assert_eq!(sys.dram[0].occupancy(), 1, "channel 0 accepts one");
+        assert_eq!(
+            sys.dram[1].occupancy(),
+            1,
+            "channel 1 must not wait behind channel 0's deferred push"
+        );
+        assert_eq!(sys.pending_dram_total, 1);
+        for _ in 0..10_000 {
+            sys.tick();
+            if sys.is_done() {
+                break;
+            }
+        }
+        assert!(sys.is_done(), "deferred pushes must drain");
+        let total: u64 = sys.dram.iter().map(|c| c.stats().accesses).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn cycle_skipping_preserves_stats_bitwise() {
+        let run = |skip: bool| {
+            let mut sys = GpuSystem::new(
+                small_cfg(),
+                |_| Box::new(IdealL1::new()),
+                |s, w| streaming_program(s, w, 10),
+            );
+            sys.set_cycle_skipping(skip);
+            let stats = sys.run(1_000_000);
+            (stats, sys.skipped_cycles())
+        };
+        let (fast, skipped) = run(true);
+        let (slow, none) = run(false);
+        assert_eq!(fast, slow, "skip engine must be observationally exact");
+        assert_eq!(none, 0);
+        assert!(
+            skipped > 0,
+            "a memory-latency-bound run must have dead cycles to skip"
+        );
+    }
+
+    #[test]
+    fn cycle_skipping_matches_on_l1_reuse() {
+        let mk = |_s: usize, _w: u16| {
+            let v: Vec<WarpOp> = (0..8)
+                .chain(0..8)
+                .map(|i| WarpOp::Mem(MemOp::strided(0x40, false, i as u64 * 128, 4, 32)))
+                .collect();
+            Box::new(StreamProgram::new(v)) as Box<dyn WarpProgram>
+        };
+        let run = |skip: bool| {
+            let mut sys = GpuSystem::new(small_cfg(), |_| Box::new(IdealL1::new()), mk);
+            sys.set_cycle_skipping(skip);
+            sys.run(1_000_000)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn cycle_skipping_respects_the_cycle_cap() {
+        // An infinite-latency stand-in: warps that never finish issuing.
+        let run = |skip: bool| {
+            let mut sys = GpuSystem::new(
+                small_cfg(),
+                |_| Box::new(IdealL1::new()),
+                |s, w| streaming_program(s, w, 100),
+            );
+            sys.set_cycle_skipping(skip);
+            sys.run(500)
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.cycles, 500, "cap must bound the skip target");
     }
 
     #[test]

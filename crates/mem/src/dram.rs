@@ -141,6 +141,11 @@ pub struct DramChannel {
     in_service: Vec<DramCompletion>,
     bus_free_at: u64,
     stats: DramStats,
+    /// Earliest SM cycle at which [`DramChannel::pick`] could succeed
+    /// given the current queue and bank state; the scheduler scan is
+    /// skipped before then. Reset to 0 ("unknown") whenever the queue or
+    /// bank state changes, so the bound is always conservative.
+    sched_ready_at: u64,
 }
 
 impl DramChannel {
@@ -153,6 +158,7 @@ impl DramChannel {
             in_service: Vec::new(),
             bus_free_at: 0,
             stats: DramStats::default(),
+            sched_ready_at: 0,
         }
     }
 
@@ -164,12 +170,38 @@ impl DramChannel {
             return false;
         }
         self.queue.push_back(req);
+        self.sched_ready_at = 0; // the new entry may be schedulable at once
         true
     }
 
     /// Number of requests waiting or in flight.
     pub fn occupancy(&self) -> usize {
         self.queue.len() + self.in_service.len()
+    }
+
+    /// Earliest SM cycle at or after `now` whose tick would do work:
+    /// finish an in-service access, or schedule a queued one. The
+    /// FR-FCFS-lite scheduler starts a request the first cycle some
+    /// windowed entry's bank is ready (`ready_at <= now`), so the earliest
+    /// schedule time is the minimum `ready_at` over the reorder window;
+    /// bank state only changes when an access is scheduled, i.e. at an
+    /// event, so the bound stays exact across the skipped span. `None`
+    /// when the channel is empty.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut earliest: Option<u64> = None;
+        let mut fold = |t: u64| {
+            let t = t.max(now);
+            earliest = Some(earliest.map_or(t, |c| c.min(t)));
+        };
+        for c in &self.in_service {
+            fold(c.finished_at);
+        }
+        let window = self.timing.window.min(self.queue.len());
+        for req in self.queue.iter().take(window) {
+            let (bank, _) = self.bank_and_row(req.line);
+            fold(self.banks[bank].ready_at);
+        }
+        earliest
     }
 
     /// Channel statistics so far.
@@ -199,12 +231,25 @@ impl DramChannel {
     /// data completed at or before `now` to the caller-owned `done`.
     pub fn tick_into(&mut self, now: u64, done: &mut Vec<DramCompletion>) {
         // Start at most one access per cycle; the data bus is reserved for
-        // the burst phase only, so bank activates overlap freely.
-        if !self.queue.is_empty() {
+        // the burst phase only, so bank activates overlap freely. A failed
+        // pick means every windowed bank is busy; the queue and bank state
+        // then stay frozen until the earliest `ready_at`, so the scan is
+        // provably futile before that cycle and skipped.
+        if !self.queue.is_empty() && now >= self.sched_ready_at {
             if let Some(idx) = self.pick(now) {
                 let req = self.queue.remove(idx).expect("picked index is in range");
                 let completion = self.service(req, now);
                 self.in_service.push(completion);
+                self.sched_ready_at = 0; // bank state changed: retry next cycle
+            } else {
+                let window = self.timing.window.min(self.queue.len());
+                self.sched_ready_at = self
+                    .queue
+                    .iter()
+                    .take(window)
+                    .map(|req| self.banks[self.bank_and_row(req.line).0].ready_at)
+                    .min()
+                    .expect("non-empty queue has a windowed entry");
             }
         }
         let mut i = 0;
@@ -449,6 +494,71 @@ mod tests {
         assert_eq!(s.accesses, 4);
         assert_eq!(s.row_hits, 3, "lines 1..3 hit the row opened by line 0");
         assert!(s.total_latency > 0);
+    }
+
+    #[test]
+    fn next_event_brackets_every_state_change() {
+        let t = DramTiming::default();
+        let mut ch = DramChannel::new(t);
+        assert_eq!(ch.next_event(0), None, "empty channel is eventless");
+        ch.try_push(DramRequest {
+            id: 1,
+            line: 0,
+            is_write: false,
+            arrival: 0,
+        });
+        // Idle bank: schedulable immediately.
+        assert_eq!(ch.next_event(0), Some(0));
+        let mut done = Vec::new();
+        ch.tick_into(0, &mut done);
+        assert!(done.is_empty());
+        // In service, finishes at 56 (tRCD+tCL+burst at ratio 2).
+        assert_eq!(ch.next_event(1), Some(56));
+        // A queued same-bank follow-up can't start before the bank frees.
+        ch.try_push(DramRequest {
+            id: 2,
+            line: 1,
+            is_write: false,
+            arrival: 1,
+        });
+        assert_eq!(ch.next_event(1), Some(56));
+        // Skipping to the event and ticking there makes progress.
+        ch.tick_into(56, &mut done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 1);
+        assert_eq!(ch.next_event(57), Some(56 + (t.t_cl + t.burst) as u64 * 2));
+    }
+
+    #[test]
+    fn skipped_dead_cycles_are_no_ops() {
+        // Ticking the channel on every cycle next_event deems dead must
+        // not change any observable state or statistic.
+        let t = DramTiming::default();
+        let mut ch = DramChannel::new(t);
+        for i in 0..3 {
+            ch.try_push(DramRequest {
+                id: i,
+                line: i * 16, // distinct rows, distinct banks
+                is_write: false,
+                arrival: 0,
+            });
+        }
+        let mut done = Vec::new();
+        let mut now = 0;
+        while ch.occupancy() > 0 && now < 10_000 {
+            let event = ch.next_event(now).expect("busy channel has an event");
+            for dead in now..event {
+                let stats_before = ch.stats();
+                let occ_before = ch.occupancy();
+                ch.tick_into(dead, &mut done);
+                assert_eq!(ch.stats(), stats_before, "dead tick mutated stats");
+                assert_eq!(ch.occupancy(), occ_before, "dead tick moved work");
+            }
+            now = event;
+            ch.tick_into(now, &mut done);
+            now += 1;
+        }
+        assert_eq!(done.len(), 3);
     }
 
     #[test]

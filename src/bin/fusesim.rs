@@ -38,6 +38,9 @@ OPTIONS:
     --configs <LIST>     comma-separated configs, `all`, or `fig13` (sweep; default fig13)
     --threads <N>        sweep worker threads (default: all cores)
     --json <PATH>        append the sweep entry to a BENCH_sweep.json file
+    --stats-json <PATH>  write the engine-independent stats digest (sweep)
+    --no-skip            disable event-driven cycle skipping (slow tick
+                         engine; statistics are bitwise identical)
     --volta              use the Fig. 19 Volta-class machine
     --scale <F>          instruction-budget multiplier (default 1.0)
     --quiet              print only the one-line summary
@@ -52,6 +55,8 @@ struct Args {
     configs: String,
     threads: Option<usize>,
     json: Option<String>,
+    stats_json: Option<String>,
+    no_skip: bool,
     volta: bool,
     scale: f64,
     quiet: bool,
@@ -67,6 +72,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         configs: "fig13".to_string(),
         threads: None,
         json: None,
+        stats_json: None,
+        no_skip: false,
         volta: false,
         scale: 1.0,
         quiet: false,
@@ -96,6 +103,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--json" => {
                 args.json = Some(argv.next().ok_or("--json needs a value")?);
             }
+            "--stats-json" => {
+                args.stats_json = Some(argv.next().ok_or("--stats-json needs a value")?);
+            }
+            "--no-skip" => args.no_skip = true,
             "--volta" => args.volta = true,
             "--quiet" => args.quiet = true,
             "--scale" => {
@@ -124,6 +135,7 @@ fn run_config(args: &Args) -> RunConfig {
         RunConfig::standard()
     };
     rc.ops_scale *= args.scale;
+    rc.skip = !args.no_skip;
     rc
 }
 
@@ -316,6 +328,12 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote sweep entry to {path}");
     }
+    if let Some(path) = &args.stats_json {
+        report
+            .write_stats_json(std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote stats digest to {path}");
+    }
     Ok(())
 }
 
@@ -375,6 +393,8 @@ mod tests {
         assert_eq!(a.config, "By-NVM");
         assert!(a.volta);
         assert_eq!(a.scale, 2.0);
+        assert!(!a.no_skip, "skipping defaults on");
+        assert!(run_config(&a).skip);
     }
 
     #[test]
@@ -404,11 +424,17 @@ mod tests {
             "4",
             "--json",
             "out.json",
+            "--stats-json",
+            "digest.json",
+            "--no-skip",
         ])
         .unwrap();
         assert_eq!(a.command, "sweep");
         assert_eq!(a.threads, Some(4));
         assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.stats_json.as_deref(), Some("digest.json"));
+        assert!(a.no_skip);
+        assert!(!run_config(&a).skip, "--no-skip must reach the engine");
         assert_eq!(parse_sweep_workloads(&a.workloads).unwrap().len(), 2);
         assert_eq!(
             parse_sweep_presets(&a.configs).unwrap(),

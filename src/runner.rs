@@ -25,6 +25,10 @@ pub struct RunConfig {
     pub ops_scale: f64,
     /// Hard cycle cap (safety net; runs normally finish by retiring).
     pub max_cycles: u64,
+    /// Event-driven cycle skipping (`fusesim --no-skip` turns it off).
+    /// Either engine yields bitwise-identical [`SimStats`]; skipping is
+    /// just faster.
+    pub skip: bool,
 }
 
 impl RunConfig {
@@ -34,6 +38,7 @@ impl RunConfig {
             gpu: GpuConfig::gtx480(),
             ops_scale: env_scale(),
             max_cycles: 20_000_000,
+            skip: true,
         }
     }
 
@@ -43,6 +48,7 @@ impl RunConfig {
             gpu: GpuConfig::volta(),
             ops_scale: env_scale() * 0.25,
             max_cycles: 20_000_000,
+            skip: true,
         }
     }
 
@@ -56,6 +62,7 @@ impl RunConfig {
             },
             ops_scale: 0.25,
             max_cycles: 2_000_000,
+            skip: true,
         }
     }
 
@@ -85,6 +92,9 @@ pub struct RunResult {
     pub metrics: L1Metrics,
     /// Evaluated energy breakdown.
     pub energy: EnergyBreakdown,
+    /// Cycles the engine fast-forwarded over (0 with `--no-skip`).
+    /// Not part of `sim`: both engines must report identical statistics.
+    pub skipped_cycles: u64,
 }
 
 impl RunResult {
@@ -137,6 +147,7 @@ fn collect(
         sim,
         metrics,
         energy,
+        skipped_cycles: sys.skipped_cycles(),
     }
 }
 
@@ -158,6 +169,7 @@ pub fn run_workload(spec: &WorkloadSpec, preset: L1Preset, rc: &RunConfig) -> Ru
         |_| preset.build_model(),
         |sm, warp| spec.program(sm, warp, ops),
     );
+    sys.set_cycle_skipping(rc.skip);
     let sim = sys.run(rc.max_cycles);
     collect(spec.name, preset.name(), &sys, sim, preset.energy_banks())
 }
@@ -177,6 +189,7 @@ pub fn run_l1_config(
         |_| Box::new(FuseL1::new(cfg.clone())),
         |sm, warp| spec.program(sm, warp, ops),
     );
+    sys.set_cycle_skipping(rc.skip);
     let sim = sys.run(rc.max_cycles);
     collect(spec.name, config_name, &sys, sim, banks)
 }
@@ -225,6 +238,20 @@ mod tests {
         let a = run_workload(&w, L1Preset::DyFuse, &rc);
         let b = run_workload(&w, L1Preset::DyFuse, &rc);
         assert_eq!(a.sim, b.sim);
+    }
+
+    #[test]
+    fn skip_and_tick_engines_agree_on_a_fuse_config() {
+        let w = by_name("srad_v1").unwrap();
+        let fast = run_workload(&w, L1Preset::DyFuse, &RunConfig::smoke());
+        let slow_rc = RunConfig {
+            skip: false,
+            ..RunConfig::smoke()
+        };
+        let slow = run_workload(&w, L1Preset::DyFuse, &slow_rc);
+        assert_eq!(fast.sim, slow.sim, "engines must agree bitwise");
+        assert_eq!(slow.skipped_cycles, 0);
+        assert!(fast.skipped_cycles > 0, "smoke runs have dead cycles");
     }
 
     #[test]

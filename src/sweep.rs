@@ -133,6 +133,14 @@ impl SweepPlan {
         self
     }
 
+    /// Enables or disables event-driven cycle skipping for every cell
+    /// (`fusesim --no-skip` routes through this). Cell statistics are
+    /// bitwise identical either way; only wall clock changes.
+    pub fn cycle_skip(mut self, on: bool) -> Self {
+        self.run_config.skip = on;
+        self
+    }
+
     /// Grid cells in the plan.
     pub fn len(&self) -> usize {
         self.workloads.len() * self.configs.len()
@@ -207,6 +215,7 @@ impl SweepPlan {
         SweepReport {
             name: self.name.clone(),
             threads,
+            engine: if self.run_config.skip { "skip" } else { "tick" }.to_string(),
             workloads: self.workloads.iter().map(|w| w.name.to_string()).collect(),
             configs: self.configs.iter().map(|c| c.name().to_string()).collect(),
             cells: slots
@@ -246,6 +255,16 @@ impl SweepCell {
             self.result.sim.cycles as f64 * 1e9 / self.wall_ns as f64
         }
     }
+
+    /// Fraction of this cell's simulated cycles the engine fast-forwarded
+    /// over instead of ticking (0 under `--no-skip`).
+    pub fn skipped_frac(&self) -> f64 {
+        if self.result.sim.cycles == 0 {
+            0.0
+        } else {
+            self.result.skipped_cycles as f64 / self.result.sim.cycles as f64
+        }
+    }
 }
 
 /// An executed sweep: cells in workload-major grid order plus timing.
@@ -255,6 +274,8 @@ pub struct SweepReport {
     pub name: String,
     /// Worker threads used.
     pub threads: usize,
+    /// Cycle engine the cells ran on: `"skip"` or `"tick"`.
+    pub engine: String,
     /// Row labels (workload names).
     pub workloads: Vec<String>,
     /// Column labels (configuration names).
@@ -338,10 +359,11 @@ impl SweepReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + 128 * self.cells.len());
         s.push_str(&format!(
-            "{{\"name\":{},\"threads\":{},\"grid\":[{},{}],\"wall_ms\":{:.3},\
+            "{{\"name\":{},\"engine\":{},\"threads\":{},\"grid\":[{},{}],\"wall_ms\":{:.3},\
              \"serial_estimate_ms\":{:.3},\"speedup_vs_serial\":{:.3},\
              \"sim_cycles\":{},\"sim_cycles_per_sec\":{:.0},\"cells\":[",
             json_str(&self.name),
+            json_str(&self.engine),
             self.threads,
             self.workloads.len(),
             self.configs.len(),
@@ -358,17 +380,63 @@ impl SweepReport {
             let r = &cell.result;
             s.push_str(&format!(
                 "{{\"workload\":{},\"config\":{},\"wall_ms\":{:.3},\"cycles\":{},\
-                 \"cycles_per_sec\":{:.0},\"ipc\":{:.6}}}",
+                 \"cycles_per_sec\":{:.0},\"ipc\":{:.6},\"skipped\":{},\"skipped_frac\":{:.4}}}",
                 json_str(&r.workload),
                 json_str(&r.config),
                 cell.wall_ns as f64 / 1e6,
                 r.sim.cycles,
                 cell.sim_cycles_per_sec(),
                 r.ipc(),
+                r.skipped_cycles,
+                cell.skipped_frac(),
             ));
         }
         s.push_str("]}");
         s
+    }
+
+    /// Serialises only the engine-independent simulation outcomes — no
+    /// wall clocks, no thread counts, no skipped-cycle counters. Two runs
+    /// of the same grid on different engines (`--no-skip` vs default) or
+    /// machines must produce byte-identical output, which is what the CI
+    /// sweep-smoke step diffs.
+    pub fn stats_json(&self) -> String {
+        let mut s = String::with_capacity(128 + 128 * self.cells.len());
+        s.push_str(&format!(
+            "{{\"name\":{},\"cells\":[\n",
+            json_str(&self.name)
+        ));
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str(",\n");
+            }
+            let r = &cell.result;
+            s.push_str(&format!(
+                "{{\"workload\":{},\"config\":{},\"cycles\":{},\"instructions\":{},\
+                 \"ipc\":{:.6},\"l1_hits\":{},\"l1_misses\":{},\"outgoing\":{},\
+                 \"dram_accesses\":{}}}",
+                json_str(&r.workload),
+                json_str(&r.config),
+                r.sim.cycles,
+                r.sim.instructions,
+                r.ipc(),
+                r.sim.l1.hits,
+                r.sim.l1.misses,
+                r.sim.outgoing_requests,
+                r.sim.dram_accesses,
+            ));
+        }
+        s.push_str("\n]}\n");
+        s
+    }
+
+    /// Writes [`SweepReport::stats_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing `path`.
+    pub fn write_stats_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.stats_json())
     }
 
     /// Writes (or replaces) this sweep's entry in the shared
@@ -391,7 +459,7 @@ impl SweepReport {
             }
         }
         entries.push(self.to_json());
-        let mut out = String::from("{\"schema\":\"fuse-sweep-v1\",\"sweeps\":[\n");
+        let mut out = String::from("{\"schema\":\"fuse-sweep-v2\",\"sweeps\":[\n");
         out.push_str(&entries.join(",\n"));
         out.push_str("\n]}\n");
         std::fs::write(path, out)
@@ -486,8 +554,37 @@ mod tests {
         let content = std::fs::read_to_string(&path).expect("readable");
         assert_eq!(content.matches("{\"name\":\"unit\"").count(), 1);
         assert_eq!(content.matches("{\"name\":\"other\"").count(), 1);
-        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v1\""));
+        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v2\""));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_records_the_engine_and_skip_fractions() {
+        let fast = tiny_plan().threads(2).run();
+        assert_eq!(fast.engine, "skip");
+        assert!(fast.to_json().contains("\"engine\":\"skip\""));
+        assert!(
+            fast.cells.iter().all(|c| c.skipped_frac() > 0.0),
+            "smoke cells are latency-bound: every one must skip"
+        );
+        let slow = tiny_plan().cycle_skip(false).threads(2).run();
+        assert_eq!(slow.engine, "tick");
+        assert!(slow.cells.iter().all(|c| c.result.skipped_cycles == 0));
+    }
+
+    #[test]
+    fn stats_json_is_engine_independent() {
+        let fast = tiny_plan().threads(2).run();
+        let slow = tiny_plan().cycle_skip(false).threads(2).run();
+        assert_eq!(
+            fast.stats_json(),
+            slow.stats_json(),
+            "digest must not depend on the engine"
+        );
+        assert!(
+            !fast.stats_json().contains("wall"),
+            "digest must carry no timing"
+        );
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Engine-equivalence gate for event-driven cycle skipping.
+//!
+//! The skip engine (`GpuSystem::run` fast-forwarding over dead cycles) and
+//! the plain tick engine must be *observationally identical*: every field
+//! of [`fuse::gpu::stats::SimStats`] — cycles, stall classifications,
+//! interconnect counters, cache and DRAM statistics — must match bitwise
+//! for every Table II workload on both the SRAM baseline and the full
+//! Dy-FUSE configuration. Any divergence means a component's
+//! `next_event` under-reported an event or `advance_idle` mis-credited a
+//! counter, so this test is the contract the skip engine is held to.
+
+use fuse::core::config::L1Preset;
+use fuse::runner::{run_workload, RunConfig};
+use fuse::workloads::all_workloads;
+
+fn smoke(skip: bool) -> RunConfig {
+    RunConfig {
+        skip,
+        ..RunConfig::smoke()
+    }
+}
+
+#[test]
+fn skip_and_tick_engines_agree_bitwise_on_every_workload() {
+    let fast_rc = smoke(true);
+    let slow_rc = smoke(false);
+    let mut total_skipped = 0u64;
+    for spec in all_workloads() {
+        for preset in [L1Preset::L1Sram, L1Preset::DyFuse] {
+            let fast = run_workload(&spec, preset, &fast_rc);
+            let slow = run_workload(&spec, preset, &slow_rc);
+            assert_eq!(
+                fast.sim,
+                slow.sim,
+                "stats diverged on {} / {}",
+                spec.name,
+                preset.name()
+            );
+            assert_eq!(
+                slow.skipped_cycles, 0,
+                "tick engine must never fast-forward"
+            );
+            total_skipped += fast.skipped_cycles;
+        }
+    }
+    assert!(
+        total_skipped > 0,
+        "the grid must contain at least one skippable span, or the skip \
+         engine is a no-op and this test proves nothing"
+    );
+}
