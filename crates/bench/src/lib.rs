@@ -16,6 +16,7 @@ use fuse::sweep::SweepReport;
 use fuse_cache::approx_assoc::ApproxConfig;
 use fuse_core::config::{L1Config, L1Preset, SttGeometry, SttOrganization};
 
+pub mod alloc;
 pub mod table;
 pub mod timing;
 

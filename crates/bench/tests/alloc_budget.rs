@@ -1,0 +1,55 @@
+//! Zero-allocation regression gate for the steady-state hot loop.
+//!
+//! DESIGN.md §3d promises that once the engine is warmed up — scratch
+//! buffers grown to their high-water marks, hash maps at capacity, slabs
+//! and pools populated — a simulated cycle performs **zero** heap
+//! operations, on the SRAM baseline and on the full Dy-FUSE controller
+//! alike. This test installs the counting allocator and holds the engine
+//! to that number exactly: any stray `Vec::push` past capacity,
+//! `HashMap` rehash or `clone` on the per-cycle path fails the build.
+//!
+//! The file deliberately contains a single `#[test]`: the allocator
+//! counters are process-wide, and libtest runs tests in the same binary
+//! concurrently, so a second test here would bleed its allocations into
+//! the measured window.
+
+use fuse::core::config::L1Preset;
+use fuse_bench::alloc::{self, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Cycles to run before measuring: long enough for the 2048-line working
+/// set to complete its cold DRAM pass and for every recycled buffer to
+/// reach its high-water mark. On Dy-FUSE the read-level predictor keeps
+/// shifting the traffic mix (and thus queue depths) for a few hundred
+/// kilocycles, so the window is deliberately generous — growth stops
+/// before 400k cycles, measured by sweeping warmups.
+const WARMUP_CYCLES: u64 = 500_000;
+
+/// Cycles measured under the zero-allocation contract.
+const MEASURE_CYCLES: u64 = 100_000;
+
+#[test]
+fn steady_state_hot_loop_performs_zero_allocations() {
+    assert!(
+        alloc::allocations() > 0,
+        "the counting allocator must be installed (test setup allocates)"
+    );
+    for preset in [L1Preset::L1Sram, L1Preset::DyFuse] {
+        let (allocs, cycles) = alloc::steady_state_delta(preset, WARMUP_CYCLES, MEASURE_CYCLES);
+        assert_eq!(
+            cycles,
+            MEASURE_CYCLES,
+            "{}: the never-retiring workload must fill the whole window",
+            preset.name()
+        );
+        assert_eq!(
+            allocs,
+            0,
+            "{}: {allocs} heap operations in {cycles} steady-state cycles — \
+             the hot loop has an allocation regression (DESIGN.md §3d)",
+            preset.name()
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Fast non-cryptographic hashing for the simulator's hot lookup tables.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is DoS-resistant but
+//! costs tens of cycles per lookup — measurable when the cycle engine
+//! probes a wide tag-array index or the L2 miss table millions of times
+//! per simulated second. [`FxHasher`] is the single-multiply folding
+//! scheme used by rustc's own interning tables ("FxHash"): one rotate,
+//! one xor and one 64-bit multiply per word. Keys here are line
+//! addresses and small integers produced by the simulator itself, so
+//! hash-flooding is not a threat model.
+//!
+//! **Determinism audit.** Swapping the hasher only changes *bucket
+//! order*, never membership. Every hot structure on this hasher is used
+//! strictly as a point-lookup table — `TagArray`'s wide index (documented
+//! as a pure acceleration structure), `L2Bank::pending` (values keep
+//! their own FIFO order), the Oracle L1's `resident` set and the FUSE
+//! controller's `miss_class` — none iterates in bucket order on any path
+//! that feeds `SimStats`, so statistics are bitwise identical under
+//! either hasher. `tests/skip_equivalence.rs` pins this with recorded
+//! digests.
+//!
+//! # Examples
+//!
+//! ```
+//! use fuse_cache::hash::FxHashMap;
+//! use fuse_cache::line::LineAddr;
+//!
+//! let mut m: FxHashMap<LineAddr, u32> = FxHashMap::default();
+//! m.insert(LineAddr(7), 1);
+//! assert_eq!(m.get(&LineAddr(7)), Some(&1));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative constant from Fx/rustc-hash: a 64-bit value close
+/// to 2^64 / φ, giving good avalanche on the high bits after one multiply.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A 64-bit multiply-fold hasher (rustc's "FxHash" scheme).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.fold(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.fold(i as u64);
+        self.fold((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.fold(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::LineAddr;
+
+    #[test]
+    fn hashing_is_deterministic_across_hashers() {
+        let h = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_stream_matches_padded_tail() {
+        // The tail is zero-padded into one final word; streams differing
+        // only in that tail must still differ.
+        let h = |b: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        assert_ne!(h(b"abcdefgh-x"), h(b"abcdefgh-y"));
+        assert_eq!(h(b"abcdefgh"), h(b"abcdefgh"));
+    }
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut m: FxHashMap<LineAddr, u32> = FxHashMap::default();
+        let mut s: FxHashSet<LineAddr> = FxHashSet::default();
+        for i in 0..1000u64 {
+            m.insert(LineAddr(i * 37), i as u32);
+            s.insert(LineAddr(i * 37));
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&LineAddr(i * 37)), Some(&(i as u32)));
+            assert!(s.contains(&LineAddr(i * 37)));
+        }
+        assert!(!s.contains(&LineAddr(1)));
+    }
+
+    #[test]
+    fn low_bit_keys_spread() {
+        // Line addresses are dense small integers; the multiply must move
+        // entropy into the high bits the hashmap uses for bucketing.
+        let mut high = FxHashSet::default();
+        for i in 0..64u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            high.insert(h.finish() >> 57);
+        }
+        assert!(
+            high.len() > 16,
+            "top-7-bit buckets collapsed: {}",
+            high.len()
+        );
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod approx_assoc;
 pub mod bloom;
+pub mod hash;
 pub mod line;
 pub mod mshr;
 pub mod nvm_cbf;
@@ -44,6 +45,7 @@ pub mod tag_queue;
 
 pub use approx_assoc::{ApproxAssocStore, ApproxConfig, ApproxProbe};
 pub use bloom::{BloomFilter, CountingBloomFilter};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use line::{LineAddr, LINE_BYTES, LINE_SHIFT};
 pub use mshr::{Mshr, MshrOutcome, MshrTarget};
 pub use nvm_cbf::NvmCbfArray;

@@ -72,6 +72,10 @@ pub struct Mshr {
     capacity: usize,
     max_targets: usize,
     peak_occupancy: usize,
+    /// Recycled target lists handed back via [`Mshr::recycle`]: a new
+    /// miss reuses one (capacity intact) instead of allocating, so the
+    /// steady-state miss path stays off the heap.
+    spare: Vec<Vec<MshrTarget>>,
 }
 
 impl Mshr {
@@ -91,6 +95,7 @@ impl Mshr {
             capacity,
             max_targets,
             peak_occupancy: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -130,10 +135,12 @@ impl Mshr {
         if self.entries.len() >= self.capacity {
             return MshrOutcome::FullEntries;
         }
+        let mut targets = self.spare.pop().unwrap_or_default();
+        targets.push(target);
         self.entries.push(Entry {
             line,
             dest,
-            targets: vec![target],
+            targets,
         });
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         MshrOutcome::NewMiss
@@ -141,10 +148,23 @@ impl Mshr {
 
     /// Retires the entry for `line` when its fill arrives, returning the
     /// destination bits and every merged requester to wake.
+    ///
+    /// Hand the target list back through [`Mshr::recycle`] once consumed
+    /// so the next miss reuses its storage; dropping it instead is
+    /// correct but allocates on a later miss.
     pub fn complete(&mut self, line: LineAddr) -> Option<(FillDest, Vec<MshrTarget>)> {
         let idx = self.entries.iter().position(|e| e.line == line)?;
         let e = self.entries.swap_remove(idx);
         Some((e.dest, e.targets))
+    }
+
+    /// Returns a consumed target list to the internal pool (cleared,
+    /// capacity kept). The pool is bounded by the table capacity.
+    pub fn recycle(&mut self, mut targets: Vec<MshrTarget>) {
+        if self.spare.len() < self.capacity {
+            targets.clear();
+            self.spare.push(targets);
+        }
     }
 }
 
@@ -216,6 +236,21 @@ mod tests {
             m.allocate(LineAddr(2), t(2), FillDest::Sram),
             MshrOutcome::NewMiss
         );
+    }
+
+    #[test]
+    fn recycled_target_lists_are_reused() {
+        let mut m = Mshr::new(2, 8);
+        for round in 0..10 {
+            m.allocate(LineAddr(round), t(0), FillDest::Sram);
+            m.allocate(LineAddr(round), t(1), FillDest::Sram);
+            let (_, targets) = m.complete(LineAddr(round)).unwrap();
+            assert_eq!(targets.len(), 2);
+            let cap = targets.capacity();
+            m.recycle(targets);
+            assert!(cap >= 2, "recycled list keeps its capacity");
+        }
+        assert!(m.spare.len() <= 2, "pool bounded by table capacity");
     }
 
     #[test]

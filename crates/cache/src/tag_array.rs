@@ -4,8 +4,7 @@
 //! (`By-NVM`, `Hybrid`, `Base-FUSE`), the L2 slices, and — with a single
 //! set — the exact fully-associative `FA-SRAM` baseline.
 
-use std::collections::HashMap;
-
+use crate::hash::FxHashMap;
 use crate::line::LineAddr;
 use crate::replacement::{PolicyKind, ReplState};
 
@@ -60,7 +59,10 @@ pub struct TagArray {
     /// Line → entry index, maintained for wide (e.g. fully-associative)
     /// arrays where the way scan dominates; `None` on narrow arrays.
     /// Purely an acceleration structure — it never changes outcomes.
-    index: Option<HashMap<LineAddr, u32>>,
+    index: Option<FxHashMap<LineAddr, u32>>,
+    /// Per-fill victim-selection scratch (`occupied` mask), recycled so a
+    /// fill never allocates once warmed to `ways` capacity.
+    occupied_scratch: Vec<bool>,
 }
 
 impl TagArray {
@@ -82,7 +84,8 @@ impl TagArray {
             entries: vec![TagEntry::INVALID; sets * ways],
             repl: (0..sets).map(|_| ReplState::new(policy, ways)).collect(),
             valid_count: 0,
-            index: (ways >= INDEXED_WAYS).then(HashMap::new),
+            index: (ways >= INDEXED_WAYS).then(FxHashMap::default),
+            occupied_scratch: Vec::new(),
         }
     }
 
@@ -146,10 +149,10 @@ impl TagArray {
         debug_assert!(self.probe(line).is_none(), "fill of resident line {line}");
         let set = self.set_index(line);
         let base = set * self.ways;
-        let occupied: Vec<bool> = (0..self.ways)
-            .map(|w| self.entries[base + w].valid)
-            .collect();
-        let way = self.repl[set].victim(&occupied);
+        self.occupied_scratch.clear();
+        self.occupied_scratch
+            .extend((0..self.ways).map(|w| self.entries[base + w].valid));
+        let way = self.repl[set].victim(&self.occupied_scratch);
         let idx = base + way;
         let evicted = self.entries[idx];
         self.entries[idx] = TagEntry {

@@ -20,9 +20,10 @@
 //! in §III-A).
 
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use fuse_cache::approx_assoc::ApproxAssocStore;
+use fuse_cache::hash::FxHashMap;
 use fuse_cache::line::LineAddr;
 use fuse_cache::mshr::{FillDest, Mshr, MshrOutcome, MshrTarget};
 
@@ -83,7 +84,7 @@ pub struct FuseL1 {
     stt_refresh: Option<RefreshSpec>,
     next_refresh_at: u64,
     mshr: Mshr,
-    miss_class: HashMap<LineAddr, ReadLevel>,
+    miss_class: FxHashMap<LineAddr, ReadLevel>,
     swap: Option<SwapBuffer>,
     tq: Option<TagQueue>,
     replay: VecDeque<TagCmd>,
@@ -144,7 +145,7 @@ impl FuseL1 {
             stt_busy_until: 0,
             next_refresh_at: stt_refresh.map(|r| r.interval_cycles).unwrap_or(u64::MAX),
             stt_refresh,
-            miss_class: HashMap::new(),
+            miss_class: FxHashMap::default(),
             swap,
             tq,
             replay: VecDeque::new(),
@@ -565,11 +566,12 @@ impl FuseL1 {
                 self.insert_into_stt(now, rsp.line, fill_dirty, aux);
             }
         }
-        for t in targets {
+        for t in &targets {
             if !t.is_store {
                 self.completions.push(t.warp);
             }
         }
+        self.mshr.recycle(targets);
     }
 }
 

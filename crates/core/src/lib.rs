@@ -40,6 +40,13 @@ pub mod config;
 pub mod controller;
 pub mod metrics;
 
+/// The in-repo FxHash-style hasher used by every hot lookup structure.
+///
+/// Defined in `fuse-cache` (the lowest crate that owns hashed tables —
+/// `fuse-core` depends on it, so the definition cannot live here without
+/// a dependency cycle) and re-exported for downstream users.
+pub use fuse_cache::hash;
+
 pub use config::{L1Config, L1Preset, Placement, SttOrganization};
 pub use controller::FuseL1;
 pub use metrics::L1Metrics;

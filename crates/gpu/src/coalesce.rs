@@ -5,12 +5,118 @@
 //! global-memory coalescing rule (§III-A: "executing a warp requires
 //! bringing in/out 128 B data"). Regular kernels produce one line per warp
 //! access; irregular kernels can produce up to 32.
+//!
+//! The hot entry point is [`coalesce_into`]: it fills a caller-owned
+//! [`LineSet`] — a fixed 32-slot inline array — so coalescing a memory
+//! instruction never touches the heap. The SM keeps one `LineSet` as a
+//! scratch buffer for its whole lifetime (see `Sm::issue`).
 
 use crate::warp::MemOp;
 use fuse_cache::line::LineAddr;
 
-/// Coalesces a warp memory operation into unique line addresses, in
-/// first-lane order.
+/// The distinct lines of one coalesced warp access, stored inline.
+///
+/// A warp has 32 lanes, so 32 slots always suffice; `insert` keeps
+/// first-touch order and deduplicates by scanning newest-first — lanes
+/// are spatially correlated, so a duplicate is almost always the line the
+/// previous lane touched, found in one comparison (unlike
+/// `Vec::contains`, which re-scans from the front every time).
+///
+/// # Examples
+///
+/// ```
+/// use fuse_gpu::coalesce::LineSet;
+/// use fuse_cache::line::LineAddr;
+///
+/// let mut set = LineSet::new();
+/// assert!(set.insert(LineAddr(3)));
+/// assert!(!set.insert(LineAddr(3)), "duplicates fold");
+/// assert_eq!(set.as_slice(), &[LineAddr(3)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineSet {
+    lines: [LineAddr; 32],
+    len: u8,
+}
+
+impl LineSet {
+    /// An empty set.
+    pub const fn new() -> Self {
+        LineSet {
+            lines: [LineAddr(0); 32],
+            len: 0,
+        }
+    }
+
+    /// Empties the set (the backing storage is inline; nothing to free).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Number of distinct lines held.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no line has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The lines in first-touch order.
+    pub fn as_slice(&self) -> &[LineAddr] {
+        &self.lines[..self.len as usize]
+    }
+
+    /// Inserts `line` unless already present; returns whether it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set already holds 32 lines and `line` is new (cannot
+    /// happen for input derived from one 32-lane warp).
+    pub fn insert(&mut self, line: LineAddr) -> bool {
+        let n = self.len as usize;
+        // Newest-first: consecutive lanes usually share a line.
+        for &held in self.lines[..n].iter().rev() {
+            if held == line {
+                return false;
+            }
+        }
+        self.lines[n] = line;
+        self.len += 1;
+        true
+    }
+}
+
+impl Default for LineSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Coalesces a warp memory operation into `out` (cleared first): unique
+/// line addresses in first-lane order, no heap allocation.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_gpu::coalesce::{coalesce_into, LineSet};
+/// use fuse_gpu::warp::MemOp;
+///
+/// let mut set = LineSet::new();
+/// // 32 consecutive 4 B elements: exactly one 128 B line.
+/// coalesce_into(&MemOp::strided(0, false, 0x1000, 4, 32), &mut set);
+/// assert_eq!(set.len(), 1);
+/// ```
+pub fn coalesce_into(op: &MemOp, out: &mut LineSet) {
+    out.clear();
+    for &addr in op.active_lanes() {
+        out.insert(LineAddr::from_byte_addr(addr));
+    }
+}
+
+/// Allocating convenience wrapper over [`coalesce_into`] for tests and
+/// one-shot callers; the engine's hot path uses the scratch-buffer form.
 ///
 /// # Examples
 ///
@@ -18,23 +124,14 @@ use fuse_cache::line::LineAddr;
 /// use fuse_gpu::coalesce::coalesce;
 /// use fuse_gpu::warp::MemOp;
 ///
-/// // 32 consecutive 4 B elements: exactly one 128 B line.
-/// let op = MemOp::strided(0, false, 0x1000, 4, 32);
-/// assert_eq!(coalesce(&op).len(), 1);
-///
 /// // A scatter over three distant addresses: three lines.
 /// let op = MemOp::scattered(0, false, &[0x0, 0x10000, 0x20000]);
 /// assert_eq!(coalesce(&op).len(), 3);
 /// ```
 pub fn coalesce(op: &MemOp) -> Vec<LineAddr> {
-    let mut lines: Vec<LineAddr> = Vec::with_capacity(4);
-    for &addr in op.active_lanes() {
-        let line = LineAddr::from_byte_addr(addr);
-        if !lines.contains(&line) {
-            lines.push(line);
-        }
-    }
-    lines
+    let mut set = LineSet::new();
+    coalesce_into(op, &mut set);
+    set.as_slice().to_vec()
 }
 
 #[cfg(test)]
@@ -81,5 +178,36 @@ mod tests {
                 LineAddr::from_byte_addr(0x4000)
             ]
         );
+    }
+
+    #[test]
+    fn line_set_holds_all_32_distinct_lines() {
+        let mut set = LineSet::new();
+        for i in 0..32u64 {
+            assert!(set.insert(LineAddr(i * 100)));
+        }
+        assert_eq!(set.len(), 32);
+        for i in 0..32u64 {
+            assert!(!set.insert(LineAddr(i * 100)), "rescan must find {i}");
+        }
+        assert_eq!(set.as_slice().len(), 32);
+    }
+
+    #[test]
+    fn line_set_reuse_after_clear() {
+        let mut set = LineSet::new();
+        coalesce_into(&MemOp::strided(0, false, 0, 128, 32), &mut set);
+        assert_eq!(set.len(), 32);
+        coalesce_into(&MemOp::strided(0, false, 0x1000, 4, 32), &mut set);
+        assert_eq!(set.len(), 1, "coalesce_into must clear stale lines");
+    }
+
+    #[test]
+    fn line_set_matches_wrapper_on_scatters() {
+        let addrs: Vec<u64> = (0..32u64).map(|i| (i * 7919) % 4096 * 64).collect();
+        let op = MemOp::scattered(0, false, &addrs);
+        let mut set = LineSet::new();
+        coalesce_into(&op, &mut set);
+        assert_eq!(set.as_slice(), coalesce(&op).as_slice());
     }
 }

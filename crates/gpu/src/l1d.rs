@@ -11,8 +11,8 @@
 //!   [`L1dModel::drain_completions`].
 
 use std::any::Any;
-use std::collections::HashSet;
 
+use fuse_cache::hash::FxHashSet;
 use fuse_cache::line::LineAddr;
 use fuse_cache::mshr::{FillDest, Mshr, MshrOutcome, MshrTarget};
 use fuse_cache::stats::CacheStats;
@@ -144,7 +144,7 @@ pub trait L1dModel {
 /// ```
 #[derive(Debug)]
 pub struct IdealL1 {
-    resident: HashSet<LineAddr>,
+    resident: FxHashSet<LineAddr>,
     mshr: Mshr,
     outgoing: Vec<OutgoingReq>,
     completions: Vec<u16>,
@@ -157,7 +157,7 @@ impl IdealL1 {
     /// Creates an empty ideal cache (32-entry MSHR, as the baselines use).
     pub fn new() -> Self {
         IdealL1 {
-            resident: HashSet::new(),
+            resident: FxHashSet::default(),
             mshr: Mshr::new(32, 8),
             outgoing: Vec::new(),
             completions: Vec::new(),
@@ -227,11 +227,12 @@ impl L1dModel for IdealL1 {
         self.resident.insert(rsp.line);
         self.energy.sram_writes += 1; // the fill
         if let Some((_, targets)) = self.mshr.complete(rsp.line) {
-            for t in targets {
+            for t in &targets {
                 if !t.is_store {
                     self.completions.push(t.warp);
                 }
             }
+            self.mshr.recycle(targets);
         }
     }
 

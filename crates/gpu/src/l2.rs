@@ -5,10 +5,12 @@
 //! cycle after an ECC-laden pipeline latency, merges secondary misses per
 //! line, and talks to its DRAM channel for misses and dirty evictions.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::icnt::Packet;
 use crate::l1d::OutgoingKind;
+use crate::slab::{Chain, ChainArena};
+use fuse_cache::hash::FxHashMap;
 use fuse_cache::line::LineAddr;
 use fuse_cache::replacement::PolicyKind;
 use fuse_cache::stats::CacheStats;
@@ -70,8 +72,12 @@ pub struct L2Bank {
     tags: TagArray,
     latency: u32,
     inbox: VecDeque<(u64, Packet)>, // (service_ready_at, packet)
-    /// Outstanding DRAM reads: waiting requester packets per line.
-    pending: HashMap<LineAddr, Vec<Packet>>,
+    /// Outstanding DRAM reads: the waiter list of each missed line, as a
+    /// [`Chain`] through the shared `waiters` arena. A `Vec<Packet>` per
+    /// miss would allocate on every new miss; the arena recycles nodes,
+    /// so steady-state miss merging never touches the heap.
+    pending: FxHashMap<LineAddr, Chain>,
+    waiters: ChainArena<Packet>,
     pending_capacity: usize,
     stats: CacheStats,
     accesses: u64,
@@ -86,7 +92,8 @@ impl L2Bank {
             tags: TagArray::new(sets, ways, PolicyKind::Lru),
             latency,
             inbox: VecDeque::new(),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
+            waiters: ChainArena::new(),
             pending_capacity,
             stats: CacheStats::default(),
             accesses: 0,
@@ -171,8 +178,8 @@ impl L2Bank {
 
     fn service_read(&mut self, packet: Packet, now: u64, out: &mut L2Output) {
         // A line already being fetched merges regardless of tag state.
-        if let Some(waiters) = self.pending.get_mut(&packet.line) {
-            waiters.push(packet);
+        if let Some(chain) = self.pending.get_mut(&packet.line) {
+            self.waiters.push_back(chain, packet);
             self.stats.mshr_merges += 1;
             return;
         }
@@ -190,7 +197,9 @@ impl L2Bank {
         }
         self.stats.misses += 1;
         out.dram_reads.push(packet.line);
-        self.pending.insert(packet.line, vec![packet]);
+        let mut chain = Chain::new();
+        self.waiters.push_back(&mut chain, packet);
+        self.pending.insert(packet.line, chain);
     }
 
     /// Delivers a DRAM read completion: fills the slice and releases every
@@ -205,8 +214,10 @@ impl L2Bank {
                 }
             }
         }
-        if let Some(waiters) = self.pending.remove(&line) {
-            out.responses.extend(waiters);
+        if let Some(chain) = self.pending.remove(&line) {
+            // Drain in merge (FIFO) order — identical to the order the
+            // old Vec-per-line design released waiters in.
+            self.waiters.drain(chain, |p| out.responses.push(p));
         }
     }
 }

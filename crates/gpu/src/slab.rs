@@ -97,6 +97,124 @@ impl<T> Slab<T> {
     }
 }
 
+/// Sentinel node index terminating a [`Chain`]. Never a valid node.
+const NO_NODE: u32 = u32::MAX;
+
+/// Handle to one FIFO list inside a [`ChainArena`]: head and tail node
+/// indices. An empty chain is `Chain::new()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chain {
+    head: u32,
+    tail: u32,
+}
+
+impl Chain {
+    /// An empty chain.
+    pub const fn new() -> Self {
+        Chain {
+            head: NO_NODE,
+            tail: NO_NODE,
+        }
+    }
+
+    /// True when the chain holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.head == NO_NODE
+    }
+}
+
+impl Default for Chain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An arena of singly-linked FIFO chains sharing one node pool.
+///
+/// The same slot-recycling discipline as [`Slab`], but for *many short
+/// lists*: each [`Chain`] (e.g. the waiter list of one outstanding L2
+/// miss) threads through intrusive `next` indices in a shared node
+/// vector, and drained nodes return to a free list. Steady-state push
+/// and drain therefore never allocate — the pool only grows to the
+/// high-water mark of simultaneously queued values, unlike a
+/// `Vec`-per-list design that allocates a fresh vector per miss.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_gpu::slab::{Chain, ChainArena};
+///
+/// let mut arena: ChainArena<u32> = ChainArena::new();
+/// let mut chain = Chain::new();
+/// arena.push_back(&mut chain, 1);
+/// arena.push_back(&mut chain, 2);
+/// let mut drained = Vec::new();
+/// arena.drain(chain, |v| drained.push(v));
+/// assert_eq!(drained, vec![1, 2], "FIFO order");
+/// assert_eq!(arena.live(), 0, "nodes recycled");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainArena<T> {
+    /// `(value, next)` nodes; `next` is [`NO_NODE`] at a chain's tail.
+    nodes: Vec<(T, u32)>,
+    free: Vec<u32>,
+}
+
+impl<T: Copy> ChainArena<T> {
+    /// An empty arena.
+    pub const fn new() -> Self {
+        ChainArena {
+            nodes: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Nodes currently threaded on some chain.
+    pub fn live(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    fn alloc(&mut self, value: T) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = (value, NO_NODE);
+            slot
+        } else {
+            assert!(self.nodes.len() < NO_NODE as usize, "arena full");
+            self.nodes.push((value, NO_NODE));
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Appends `value` at the tail of `chain`.
+    pub fn push_back(&mut self, chain: &mut Chain, value: T) {
+        let node = self.alloc(value);
+        if chain.head == NO_NODE {
+            chain.head = node;
+        } else {
+            self.nodes[chain.tail as usize].1 = node;
+        }
+        chain.tail = node;
+    }
+
+    /// Consumes `chain` head-to-tail (FIFO), handing each value to `f`
+    /// and returning every node to the free list.
+    pub fn drain(&mut self, chain: Chain, mut f: impl FnMut(T)) {
+        let mut cur = chain.head;
+        while cur != NO_NODE {
+            let (value, next) = self.nodes[cur as usize];
+            self.free.push(cur);
+            f(value);
+            cur = next;
+        }
+    }
+}
+
+impl<T: Copy> Default for ChainArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +262,67 @@ mod tests {
         assert_eq!(s.get(NO_SLOT), None);
         assert_eq!(s.get_mut(7), None);
         assert_eq!(s.remove(NO_SLOT), None);
+    }
+
+    #[test]
+    fn chains_are_fifo_and_independent() {
+        let mut arena: ChainArena<u32> = ChainArena::new();
+        let mut a = Chain::new();
+        let mut b = Chain::new();
+        assert!(a.is_empty());
+        for i in 0..5 {
+            arena.push_back(&mut a, i);
+            arena.push_back(&mut b, 100 + i);
+        }
+        assert!(!a.is_empty());
+        assert_eq!(arena.live(), 10);
+        let mut got = Vec::new();
+        arena.drain(a, |v| got.push(v));
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        got.clear();
+        arena.drain(b, |v| got.push(v));
+        assert_eq!(got, vec![100, 101, 102, 103, 104]);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn chain_nodes_recycle_without_growth() {
+        let mut arena: ChainArena<u8> = ChainArena::new();
+        for round in 0..100u8 {
+            let mut c = Chain::new();
+            for i in 0..4 {
+                arena.push_back(&mut c, round.wrapping_add(i));
+            }
+            let mut n = 0;
+            arena.drain(c, |_| n += 1);
+            assert_eq!(n, 4);
+        }
+        assert_eq!(
+            arena.nodes.len(),
+            4,
+            "pool must stay at the high-water mark"
+        );
+    }
+
+    #[test]
+    fn interleaved_chains_keep_their_own_order() {
+        // Alternating pushes across two chains fragment the node pool;
+        // each chain must still drain in its own FIFO order.
+        let mut arena: ChainArena<u32> = ChainArena::new();
+        let mut a = Chain::new();
+        let mut b = Chain::new();
+        for i in 0..8 {
+            if i % 2 == 0 {
+                arena.push_back(&mut a, i);
+            } else {
+                arena.push_back(&mut b, i);
+            }
+        }
+        let mut got_a = Vec::new();
+        arena.drain(a, |v| got_a.push(v));
+        assert_eq!(got_a, vec![0, 2, 4, 6]);
+        let mut got_b = Vec::new();
+        arena.drain(b, |v| got_b.push(v));
+        assert_eq!(got_b, vec![1, 3, 5, 7]);
     }
 }

@@ -30,7 +30,7 @@ pub enum SchedulerPolicy {
     Gto,
 }
 
-use crate::coalesce::coalesce;
+use crate::coalesce::{coalesce_into, LineSet};
 use crate::l1d::{L1Access, L1Outcome, L1dModel, OutgoingReq};
 use crate::warp::{WarpOp, WarpProgram};
 use fuse_cache::line::LineAddr;
@@ -104,6 +104,10 @@ pub struct Sm {
     /// comparison over a dense array instead of three loads from the
     /// pointer-laden [`WarpState`].
     wake_at: Vec<u64>,
+    /// Coalescing scratch, owned by the SM for its lifetime so issuing a
+    /// memory instruction never allocates. Only Phase B of `issue` uses
+    /// it, and its contents never outlive the call.
+    coalesce_buf: LineSet,
 }
 
 impl std::fmt::Debug for Sm {
@@ -158,6 +162,7 @@ impl Sm {
             ready_warps: warp_limit.min(n),
             finished_warps: 0,
             wake_at: vec![0; n],
+            coalesce_buf: LineSet::new(),
         }
     }
 
@@ -335,11 +340,11 @@ impl Sm {
                 Some(WarpOp::Mem(op)) => {
                     self.stats.instructions += 1;
                     self.stats.issue_cycles += 1;
-                    let lines = coalesce(&op);
-                    self.live += lines.len() as u64;
+                    coalesce_into(&op, &mut self.coalesce_buf);
+                    self.live += self.coalesce_buf.len() as u64;
                     let w = &mut self.warps[wi];
                     debug_assert!(w.pending.is_empty(), "Phase B warp holds the LSU");
-                    for line in lines {
+                    for &line in self.coalesce_buf.as_slice() {
                         w.pending.push_back((line, op.is_store, op.pc));
                     }
                     self.lsu_warp = Some(wi as u16);

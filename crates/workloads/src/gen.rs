@@ -110,7 +110,10 @@ impl GenProgram {
         MemOp::strided(pc, is_store, line * LINE_BYTES, 4, 32)
     }
 
-    fn scattered(&mut self, pc: u32, is_store: bool, lines: &[u64]) -> MemOp {
+    /// Builds a 32-lane scatter op from a borrowed line group. Takes no
+    /// receiver so callers can pass `&self.last_scatter` without cloning
+    /// the group first.
+    fn scattered(pc: u32, is_store: bool, lines: &[u64]) -> MemOp {
         let mut addrs = [0u64; 32];
         for (i, addr) in addrs.iter_mut().enumerate() {
             *addr = lines[i % lines.len()] * LINE_BYTES + (i as u64 % 4) * 32;
@@ -138,21 +141,22 @@ impl GenProgram {
             let reuse_group =
                 !self.last_scatter.is_empty() && self.rng.chance(self.spec.local_reuse);
             if reuse_group {
-                let lines = self.last_scatter.clone();
-                return self.scattered(pc, false, &lines);
+                return Self::scattered(pc, false, &self.last_scatter);
             }
             let pitch = self.spec.pitch_lines;
             let rows = (region / pitch).max(1);
             let col = self.rng.range_u64(2);
             let k = self.spec.scatter_lines;
-            let mut lines = Vec::with_capacity(k);
+            // Build the fresh group in place: `last_scatter` is both the
+            // reuse memory and the scratch buffer, so a fresh scatter
+            // costs no allocation once warmed to `k` capacity.
+            self.last_scatter.clear();
             for _ in 0..k {
                 let row = self.rng.range_u64(rows);
-                lines.push(WORM_BASE + (row * pitch + col) % region);
+                self.last_scatter
+                    .push(WORM_BASE + (row * pitch + col) % region);
             }
-            let op = self.scattered(pc, false, &lines);
-            self.last_scatter = lines;
-            return op;
+            return Self::scattered(pc, false, &self.last_scatter);
         }
         self.worm_cursor = (self.worm_cursor + 1) % region;
         let line = WORM_BASE + self.worm_cursor;

@@ -232,6 +232,7 @@ impl SweepPlan {
         SweepCell {
             result,
             wall_ns: t.elapsed().as_nanos() as u64,
+            allocs_per_kcycle: None,
         }
     }
 }
@@ -243,6 +244,12 @@ pub struct SweepCell {
     pub result: RunResult,
     /// Wall time this cell took on its worker.
     pub wall_ns: u64,
+    /// Heap operations per simulated kilocycle, when the run was executed
+    /// under the counting allocator (`fuse-bench`'s `alloc_budget`
+    /// harness). `None` for ordinary sweeps: a meaningful count needs the
+    /// `#[global_allocator]` wrapper installed and a serial run, so the
+    /// parallel sweep path never fills it in.
+    pub allocs_per_kcycle: Option<f64>,
 }
 
 impl SweepCell {
@@ -390,6 +397,10 @@ impl SweepReport {
                 r.skipped_cycles,
                 cell.skipped_frac(),
             ));
+            if let Some(apk) = cell.allocs_per_kcycle {
+                s.pop(); // re-open the cell object
+                s.push_str(&format!(",\"allocs_per_kcycle\":{apk:.3}}}"));
+            }
         }
         s.push_str("]}");
         s
@@ -459,7 +470,7 @@ impl SweepReport {
             }
         }
         entries.push(self.to_json());
-        let mut out = String::from("{\"schema\":\"fuse-sweep-v2\",\"sweeps\":[\n");
+        let mut out = String::from("{\"schema\":\"fuse-sweep-v3\",\"sweeps\":[\n");
         out.push_str(&entries.join(",\n"));
         out.push_str("\n]}\n");
         std::fs::write(path, out)
@@ -554,8 +565,25 @@ mod tests {
         let content = std::fs::read_to_string(&path).expect("readable");
         assert_eq!(content.matches("{\"name\":\"unit\"").count(), 1);
         assert_eq!(content.matches("{\"name\":\"other\"").count(), 1);
-        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v2\""));
+        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v3\""));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn allocs_per_kcycle_is_emitted_only_when_measured() {
+        let mut r = tiny_plan().threads(2).run();
+        assert!(
+            !r.to_json().contains("allocs_per_kcycle"),
+            "ordinary sweeps carry no allocation counts"
+        );
+        r.cells[0].allocs_per_kcycle = Some(1.5);
+        let js = r.to_json();
+        assert!(js.contains("\"allocs_per_kcycle\":1.500}"));
+        assert_eq!(
+            js.matches('{').count(),
+            js.matches('}').count(),
+            "the optional field must keep the cell object balanced"
+        );
     }
 
     #[test]
