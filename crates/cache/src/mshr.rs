@@ -166,6 +166,22 @@ impl Mshr {
             self.spare.push(targets);
         }
     }
+
+    /// Abandons every outstanding entry, returning each target list to
+    /// the internal pool. For a run that ends with misses still in
+    /// flight: the fills will never arrive, but the pool-accounting
+    /// contract (every pooled buffer home at rest) must still hold.
+    /// Statistics (`peak_occupancy`) are kept.
+    pub fn reset(&mut self) {
+        while let Some(e) = self.entries.pop() {
+            self.recycle(e.targets);
+        }
+    }
+
+    /// Target lists currently parked in the recycle pool.
+    pub fn pooled_target_lists(&self) -> usize {
+        self.spare.len()
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +267,25 @@ mod tests {
             assert!(cap >= 2, "recycled list keeps its capacity");
         }
         assert!(m.spare.len() <= 2, "pool bounded by table capacity");
+    }
+
+    #[test]
+    fn reset_pools_abandoned_target_lists() {
+        let mut m = Mshr::new(4, 8);
+        m.allocate(LineAddr(1), t(0), FillDest::Sram);
+        m.allocate(LineAddr(2), t(1), FillDest::Stt);
+        m.allocate(LineAddr(2), t(2), FillDest::Stt);
+        assert_eq!(m.occupancy(), 2);
+        m.reset();
+        assert_eq!(m.occupancy(), 0, "no entry survives a reset");
+        assert_eq!(
+            m.pooled_target_lists(),
+            2,
+            "abandoned target lists must land in the pool, not be dropped"
+        );
+        // The pooled lists are reused by the next misses.
+        m.allocate(LineAddr(3), t(0), FillDest::Sram);
+        assert_eq!(m.pooled_target_lists(), 1);
     }
 
     #[test]

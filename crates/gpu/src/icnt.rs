@@ -191,6 +191,13 @@ impl Interconnect {
     pub fn stats(&self) -> IcntStats {
         self.stats
     }
+
+    /// Drops every queued and in-flight packet (capacity is retained).
+    /// Statistics already accrued are kept.
+    pub fn reset_in_flight(&mut self) {
+        self.inject.clear();
+        self.in_flight.clear();
+    }
 }
 
 #[cfg(test)]

@@ -117,6 +117,19 @@ pub trait L1dModel {
         Some(now)
     }
 
+    /// Outstanding misses (MSHR occupancy) — the pool-accounting probe:
+    /// zero at rest means every pooled target list is back in its pool.
+    fn outstanding_misses(&self) -> usize {
+        0
+    }
+
+    /// Abandons in-flight state, returning every pooled buffer (MSHR
+    /// target lists, parked migrations, replay queues) to its pool. For
+    /// a run a cycle cap stopped mid-flight: the fills will never
+    /// arrive. Statistics are kept; the model need not be usable for
+    /// further simulation afterwards.
+    fn reset_in_flight(&mut self) {}
+
     /// Hit/miss statistics.
     fn stats(&self) -> CacheStats;
 
@@ -252,6 +265,16 @@ impl L1dModel for IdealL1 {
         } else {
             Some(now)
         }
+    }
+
+    fn outstanding_misses(&self) -> usize {
+        self.mshr.occupancy()
+    }
+
+    fn reset_in_flight(&mut self) {
+        self.mshr.reset();
+        self.outgoing.clear();
+        self.completions.clear();
     }
 
     fn stats(&self) -> CacheStats {

@@ -34,6 +34,7 @@ use crate::coalesce::{coalesce_into, LineSet};
 use crate::l1d::{L1Access, L1Outcome, L1dModel, OutgoingReq};
 use crate::warp::{WarpOp, WarpProgram};
 use fuse_cache::line::LineAddr;
+use fuse_obs::trace::{TraceEvent, TraceKind, TraceRing};
 
 /// Per-SM execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -202,8 +203,29 @@ impl Sm {
         self.l1.push_response(now, rsp);
     }
 
+    /// Outstanding L1 misses (pool accounting — see
+    /// [`L1dModel::outstanding_misses`]).
+    pub fn outstanding_misses(&self) -> usize {
+        self.l1.outstanding_misses()
+    }
+
+    /// Abandons the L1's in-flight state, returning its pooled buffers
+    /// (see [`L1dModel::reset_in_flight`]). Does not make the SM
+    /// resumable — for end-of-run pool accounting only.
+    pub fn reset_in_flight(&mut self) {
+        self.l1.reset_in_flight();
+    }
+
     /// Advances one cycle: L1 pipelines, load wake-ups, then issue.
     pub fn tick(&mut self, now: u64) {
+        self.tick_traced(now, None);
+    }
+
+    /// [`Sm::tick`] with an optional event tracer. `tracer` carries the
+    /// ring and this SM's index (the SM does not know its own position);
+    /// Phase B records a coalesce trace point when it issues a memory
+    /// instruction.
+    pub fn tick_traced(&mut self, now: u64, tracer: Option<(&mut TraceRing, u32)>) {
         self.l1.tick(now);
         self.completions.clear();
         self.l1.drain_completions(&mut self.completions);
@@ -232,7 +254,7 @@ impl Sm {
             self.ready_warps += grown - self.activated;
             self.activated = grown;
         }
-        self.issue(now);
+        self.issue(now, tracer);
     }
 
     /// Earliest cycle at or after `now` at which this SM could do
@@ -285,7 +307,7 @@ impl Sm {
         }
     }
 
-    fn issue(&mut self, now: u64) {
+    fn issue(&mut self, now: u64, tracer: Option<(&mut TraceRing, u32)>) {
         let n = self.activated;
         // Phase A: the warp still holding the LSU finishes its coalesced
         // access first.
@@ -341,6 +363,16 @@ impl Sm {
                     self.stats.instructions += 1;
                     self.stats.issue_cycles += 1;
                     coalesce_into(&op, &mut self.coalesce_buf);
+                    if let Some((ring, sm_idx)) = tracer {
+                        ring.record(TraceEvent {
+                            t: now,
+                            dur: 0,
+                            line: self.coalesce_buf.as_slice().first().map_or(0, |l| l.0),
+                            kind: TraceKind::Coalesce,
+                            track: sm_idx,
+                            aux: wi as u32 | ((self.coalesce_buf.len() as u32) << 16),
+                        });
+                    }
                     self.live += self.coalesce_buf.len() as u64;
                     let w = &mut self.warps[wi];
                     debug_assert!(w.pending.is_empty(), "Phase B warp holds the LSU");

@@ -105,6 +105,12 @@ impl SimStats {
 
     /// Splits [`SimStats::offchip_stall_fraction`] into (network, DRAM)
     /// shares by off-chip residency ratio (Fig. 1a's two bars).
+    ///
+    /// Residency only accrues when a read *completes*, so a capped run
+    /// can reach this with stall cycles on the books but zero residency
+    /// (stalled on reads that never returned). That case is
+    /// undecomposable and yields exactly `(0.0, 0.0)` — never NaN from
+    /// the `0/0` share ratio.
     pub fn offchip_decomposition(&self) -> (f64, f64) {
         let total = self.net_residency + self.mem_residency;
         let f = self.offchip_stall_fraction();
@@ -146,6 +152,34 @@ mod tests {
         };
         assert!((s.ipc() - 0.5).abs() < 1e-12);
         assert!((s.apki() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_residency_with_nonzero_stalls_decomposes_to_zero_not_nan() {
+        // Reachable under a cycle cap: stalls accrue every cycle, but
+        // residency only lands when a read completes — a run capped
+        // before the first response has stalls and no residency.
+        let s = SimStats {
+            cycles: 100,
+            num_sms: 2,
+            sm: SmStats {
+                mem_stall_cycles: 120,
+                reservation_stall_cycles: 40,
+                ..SmStats::default()
+            },
+            net_residency: 0,
+            mem_residency: 0,
+            completed_reads: 0,
+            ..SimStats::default()
+        };
+        assert!(s.offchip_stall_fraction() > 0.0, "stalls are on the books");
+        let (net, dram) = s.offchip_decomposition();
+        assert!(net == 0.0 && dram == 0.0, "undecomposable case pins (0, 0)");
+        assert!(!net.is_nan() && !dram.is_nan());
+        assert!(
+            net.is_sign_positive() && dram.is_sign_positive(),
+            "not -0.0"
+        );
     }
 
     #[test]

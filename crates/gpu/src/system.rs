@@ -12,8 +12,18 @@
 //! are skipped outright. `is_done` is O(number of components), so the run
 //! loop checks it every cycle and stops the exact cycle the hierarchy
 //! drains.
+//!
+//! Observability is opt-in and pay-for-what-you-use (DESIGN.md §3e):
+//! [`GpuSystem::enable_profiler`] samples the engine's monotonic counters
+//! at fixed window boundaries (skips are clamped at boundaries, which is
+//! stats-neutral because every bulk credit is linear in the span), and
+//! [`GpuSystem::enable_tracer`] records packet-level trace points into a
+//! fixed ring. With both off the per-tick cost is a pair of `None`
+//! checks: [`SimStats`] stays bitwise identical and the steady-state loop
+//! stays allocation-free.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use crate::config::GpuConfig;
 use crate::icnt::{Interconnect, Packet};
@@ -27,6 +37,8 @@ use fuse_cache::line::LineAddr;
 use fuse_cache::stats::CacheStats;
 use fuse_mem::dram::{DramChannel, DramCompletion, DramRequest};
 use fuse_mem::energy::EnergyCounters;
+use fuse_obs::profile::{CounterSnapshot, CycleProfiler, ProfileReport};
+use fuse_obs::trace::{TraceEvent, TraceKind, TraceRing};
 
 #[derive(Debug, Clone, Copy)]
 struct Trace {
@@ -53,7 +65,8 @@ pub struct GpuSystem {
     /// ([`NO_SLOT`] for packets that never need a lookup).
     traces: Slab<Trace>,
     /// Outstanding DRAM reads; the DRAM request id is the slab slot.
-    dram_reads: Slab<(usize, LineAddr)>,
+    /// Carries the queue cycle so the tracer can emit the DRAM span.
+    dram_reads: Slab<(usize, LineAddr, u64)>,
     /// Per-channel retry queues for pushes that found the channel full. A
     /// single global queue would head-of-line block: the first request
     /// stuck on a full channel would also stall requests destined for
@@ -71,6 +84,11 @@ pub struct GpuSystem {
     net_residency: u64,
     mem_residency: u64,
     completed_reads: u64,
+    /// Opt-in cycle-attribution profiler (boxed: keeps the disabled
+    /// engine's struct layout lean and the per-tick check a null test).
+    profiler: Option<Box<CycleProfiler>>,
+    /// Opt-in packet-level event tracer (boxed for the same reason).
+    tracer: Option<Box<TraceRing>>,
     // Scratch buffers recycled every cycle (steady-state zero allocation).
     outgoing_buf: Vec<OutgoingReq>,
     fill_buf: Vec<(usize, LineAddr)>,
@@ -143,6 +161,8 @@ impl GpuSystem {
             net_residency: 0,
             mem_residency: 0,
             completed_reads: 0,
+            profiler: None,
+            tracer: None,
             outgoing_buf: Vec::new(),
             fill_buf: Vec::new(),
             deliver_buf: Vec::new(),
@@ -181,10 +201,92 @@ impl GpuSystem {
         self.skipped_cycles
     }
 
+    /// Enables the cycle-attribution profiler with the given window
+    /// length (in simulated cycles). Windows close at exact multiples of
+    /// `window` from the enable point; skips are clamped at boundaries,
+    /// which is stats-neutral because every bulk credit is linear in the
+    /// span. Call before [`GpuSystem::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn enable_profiler(&mut self, window: u64) {
+        let mut p = CycleProfiler::new(window);
+        p.rebase(self.cycle, self.counter_snapshot(), self.skipped_cycles);
+        self.profiler = Some(Box::new(p));
+    }
+
+    /// Enables packet-level event tracing into a ring holding `capacity`
+    /// events (oldest overwritten once full; nothing allocates after this
+    /// call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_tracer(&mut self, capacity: usize) {
+        self.tracer = Some(Box::new(TraceRing::with_capacity(capacity)));
+    }
+
+    /// Finalizes and detaches the profiler, flushing the partial last
+    /// window. `None` if profiling was never enabled.
+    pub fn take_profile(&mut self) -> Option<ProfileReport> {
+        let snap = self.counter_snapshot();
+        let now = self.cycle;
+        let skipped = self.skipped_cycles;
+        self.profiler.take().map(|p| p.finish(now, snap, skipped))
+    }
+
+    /// Detaches the trace ring. `None` if tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<TraceRing> {
+        self.tracer.take().map(|b| *b)
+    }
+
+    /// Snapshot of the engine's monotonic counters, used by the profiler
+    /// to compute per-window deltas. Cheap: a handful of sums over
+    /// per-component counters.
+    fn counter_snapshot(&self) -> CounterSnapshot {
+        let mut snap = CounterSnapshot {
+            outgoing_packets: self.req_net.stats().packets,
+            ..CounterSnapshot::default()
+        };
+        for sm in &self.sms {
+            let st = sm.stats();
+            snap.issue_cycles += st.issue_cycles;
+            snap.mem_stall_cycles += st.mem_stall_cycles;
+            snap.reservation_stall_cycles += st.reservation_stall_cycles;
+            snap.idle_cycles += st.idle_cycles;
+            let l1 = sm.l1().stats();
+            snap.l1_hits += l1.hits;
+            snap.l1_misses += l1.misses;
+        }
+        for b in &self.l2 {
+            snap.l2_accesses += b.accesses();
+        }
+        for c in &self.dram {
+            snap.dram_accesses += c.stats().accesses;
+        }
+        snap
+    }
+
     /// Runs until every warp retires and the hierarchy drains, or
     /// `max_cycles` elapses. Returns the run's statistics.
     pub fn run(&mut self, max_cycles: u64) -> SimStats {
         while self.cycle < max_cycles {
+            // Close profiling windows *before* the boundary tick so each
+            // window covers exactly `[start, start + window)`. Skip spans
+            // are clamped to the boundary below, so the clock lands here
+            // exactly; the extra tick this forces at a boundary is
+            // stats-equivalent to being inside a skip span.
+            if let Some(p) = &self.profiler {
+                if self.cycle >= p.next_boundary() {
+                    let snap = self.counter_snapshot();
+                    let now = self.cycle;
+                    let skipped = self.skipped_cycles;
+                    if let Some(p) = &mut self.profiler {
+                        p.close_window(now, snap, skipped);
+                    }
+                }
+            }
             self.tick();
             // is_done() is O(#components) thanks to the live counters, so
             // checking every cycle is cheap and the run ends the exact
@@ -194,17 +296,27 @@ impl GpuSystem {
             }
             if self.skip {
                 let now = self.cycle;
-                let target = match self.next_event_cycle(now) {
+                let mut target = match self.next_event_cycle(now) {
                     Some(t) => t.min(max_cycles),
                     // No component will ever act again without input that
                     // is not coming (possible only under a cycle cap a
                     // workload outruns): burn the rest of the budget.
                     None => max_cycles,
                 };
+                // Land on window boundaries so skipped spans bulk-credit
+                // windows exactly like stall counters (stats-neutral:
+                // every bulk credit is linear in the span).
+                if let Some(p) = &self.profiler {
+                    target = target.min(p.next_boundary());
+                }
                 if target > now {
                     self.advance_idle(target - now);
                 }
             }
+        }
+        #[cfg(debug_assertions)]
+        if self.is_done() {
+            self.assert_quiescent_pools();
         }
         self.stats()
     }
@@ -288,15 +400,58 @@ impl GpuSystem {
 
     fn tick(&mut self) {
         let now = self.cycle;
-
-        // 1. SMs: L1 pipelines, wake-ups, issue.
-        for sm in &mut self.sms {
-            sm.tick(now);
+        // 1 in SAMPLE_PERIOD ticks is phase-timed; the rest take the plain
+        // path (no Instant reads). With the profiler off this is one
+        // branch.
+        let sample = match &mut self.profiler {
+            Some(p) => p.note_tick(),
+            None => false,
+        };
+        if sample {
+            let mut ns = [0u64; 5];
+            let mut mark = Instant::now();
+            let mut lap = |slot: &mut u64| {
+                let t = Instant::now();
+                *slot += t.duration_since(mark).as_nanos() as u64;
+                mark = t;
+            };
+            self.phase_sms(now);
+            lap(&mut ns[0]);
+            self.phase_inject(now);
+            lap(&mut ns[1]);
+            self.phase_l2(now);
+            lap(&mut ns[2]);
+            self.phase_dram(now);
+            lap(&mut ns[3]);
+            self.phase_respond(now);
+            lap(&mut ns[4]);
+            if let Some(p) = &mut self.profiler {
+                p.add_phase_sample(ns);
+            }
+        } else {
+            self.phase_sms(now);
+            self.phase_inject(now);
+            self.phase_l2(now);
+            self.phase_dram(now);
+            self.phase_respond(now);
         }
+        self.cycle += 1;
+    }
 
-        // 2. Collect new L1 -> L2 requests into the request network. Only
-        // response-expecting reads need a trace slot; write-throughs carry
-        // the NO_SLOT sentinel and are never looked up again.
+    /// Phase 1: SMs — L1 pipelines, wake-ups, issue (the coalesce trace
+    /// point lives inside the SM's issue stage).
+    fn phase_sms(&mut self, now: u64) {
+        for (si, sm) in self.sms.iter_mut().enumerate() {
+            let tracer = self.tracer.as_deref_mut().map(|t| (t, si as u32));
+            sm.tick_traced(now, tracer);
+        }
+    }
+
+    /// Phases 2–3: collect new L1 → L2 requests into the request network
+    /// and deliver due request packets to their L2 slices. Only
+    /// response-expecting reads need a trace slot; write-throughs carry
+    /// the NO_SLOT sentinel and are never looked up again.
+    fn phase_inject(&mut self, now: u64) {
         for si in 0..self.sms.len() {
             self.outgoing_buf.clear();
             self.sms[si].drain_outgoing(&mut self.outgoing_buf);
@@ -314,6 +469,20 @@ impl GpuSystem {
                 } else {
                     NO_SLOT
                 };
+                if let Some(ring) = &mut self.tracer {
+                    ring.record(TraceEvent {
+                        t: now,
+                        dur: 0,
+                        line: req.line.0,
+                        kind: if req.kind.expects_response() {
+                            TraceKind::IcntInject
+                        } else {
+                            TraceKind::WriteThrough
+                        },
+                        track: si as u32,
+                        aux: bank as u32,
+                    });
+                }
                 self.req_net.push(Packet {
                     gid,
                     sm: si,
@@ -325,7 +494,6 @@ impl GpuSystem {
             }
         }
 
-        // 3. Deliver request packets to their L2 slices.
         let mut deliver = std::mem::take(&mut self.deliver_buf);
         deliver.clear();
         self.req_net.tick_into(now, &mut deliver);
@@ -335,9 +503,12 @@ impl GpuSystem {
             }
             self.l2[p.bank].enqueue(p, now);
         }
+        self.deliver_buf = deliver;
+    }
 
-        // 4. L2 service. A slice with an empty input queue has nothing to
-        // do this cycle and is skipped.
+    /// Phase 4: L2 service. A slice with an empty input queue has nothing
+    /// to do this cycle and is skipped.
+    fn phase_l2(&mut self, now: u64) {
         let mut out = std::mem::take(&mut self.l2_out);
         out.clear();
         for bi in 0..self.l2.len() {
@@ -347,10 +518,14 @@ impl GpuSystem {
             self.l2[bi].tick(now, &mut out);
             self.handle_l2_output(bi, &mut out, now);
         }
+        self.l2_out = out;
+    }
 
-        // 5. Retry DRAM pushes that found a full channel queue — per
-        // channel, so one full channel cannot head-of-line block traffic
-        // destined for channels with room.
+    /// Phases 5–6: retry deferred DRAM pushes (per channel, so one full
+    /// channel cannot head-of-line block traffic destined for channels
+    /// with room), collect completions (skipping drained channels), then
+    /// apply the fills. Writes carry NO_SLOT and complete silently.
+    fn phase_dram(&mut self, now: u64) {
         for ch in 0..self.dram.len() {
             while let Some(&req) = self.pending_dram[ch].front() {
                 if self.dram[ch].try_push(req) {
@@ -362,31 +537,45 @@ impl GpuSystem {
             }
         }
 
-        // 6. DRAM: collect completions (skipping drained channels), then
-        // apply the fills. Writes carry NO_SLOT and complete silently.
         self.fill_buf.clear();
         let mut dram_done = std::mem::take(&mut self.dram_done_buf);
-        for ch in &mut self.dram {
-            if ch.occupancy() == 0 {
+        for ci in 0..self.dram.len() {
+            if self.dram[ci].occupancy() == 0 {
                 continue;
             }
             dram_done.clear();
-            ch.tick_into(now, &mut dram_done);
+            self.dram[ci].tick_into(now, &mut dram_done);
             for done in &dram_done {
-                if let Some((bank, line)) = self.dram_reads.remove(done.id) {
+                if let Some((bank, line, queued)) = self.dram_reads.remove(done.id) {
+                    if let Some(ring) = &mut self.tracer {
+                        ring.record(TraceEvent {
+                            t: queued,
+                            dur: now.saturating_sub(queued),
+                            line: line.0,
+                            kind: TraceKind::SpanDram,
+                            track: ci as u32,
+                            aux: bank as u32,
+                        });
+                    }
                     self.fill_buf.push((bank, line));
                 }
             }
         }
         self.dram_done_buf = dram_done;
+        let mut out = std::mem::take(&mut self.l2_out);
         for i in 0..self.fill_buf.len() {
             let (bank, line) = self.fill_buf[i];
             self.l2[bank].dram_fill(line, &mut out);
             self.handle_l2_output(bank, &mut out, now);
         }
         self.l2_out = out;
+    }
 
-        // 7. Deliver responses back to the L1s.
+    /// Phase 7: deliver responses back to the L1s. The round trip's three
+    /// spans (request network, L2+DRAM, response network) are traced here
+    /// because this is the only place the full timeline is in hand.
+    fn phase_respond(&mut self, now: u64) {
+        let mut deliver = std::mem::take(&mut self.deliver_buf);
         self.rsp_net.tick_into(now, &mut deliver);
         for p in deliver.drain(..) {
             let tr = self.traces.remove(p.gid).expect("response without a trace");
@@ -394,6 +583,33 @@ impl GpuSystem {
                 tr.t_l2_in.saturating_sub(tr.t_inject) + now.saturating_sub(tr.t_l2_out);
             self.mem_residency += tr.t_l2_out.saturating_sub(tr.t_l2_in);
             self.completed_reads += 1;
+            if let Some(ring) = &mut self.tracer {
+                let gid = p.gid as u32;
+                ring.record(TraceEvent {
+                    t: tr.t_inject,
+                    dur: tr.t_l2_in.saturating_sub(tr.t_inject),
+                    line: p.line.0,
+                    kind: TraceKind::SpanNetReq,
+                    track: tr.sm as u32,
+                    aux: gid,
+                });
+                ring.record(TraceEvent {
+                    t: tr.t_l2_in,
+                    dur: tr.t_l2_out.saturating_sub(tr.t_l2_in),
+                    line: p.line.0,
+                    kind: TraceKind::SpanL2Dram,
+                    track: p.bank as u32,
+                    aux: gid,
+                });
+                ring.record(TraceEvent {
+                    t: tr.t_l2_out,
+                    dur: now.saturating_sub(tr.t_l2_out),
+                    line: p.line.0,
+                    kind: TraceKind::SpanNetRsp,
+                    track: tr.sm as u32,
+                    aux: gid,
+                });
+            }
             self.sms[tr.sm].push_response(
                 now,
                 L1Response {
@@ -403,8 +619,6 @@ impl GpuSystem {
             );
         }
         self.deliver_buf = deliver;
-
-        self.cycle += 1;
     }
 
     /// Drains `out` into the response network and the DRAM queues,
@@ -436,10 +650,24 @@ impl GpuSystem {
         // Reads need their (bank, line) back at fill time: the slab slot
         // rides along as the request id. Writes complete silently.
         let id = if is_read {
-            self.dram_reads.insert((bank, line))
+            self.dram_reads.insert((bank, line, now))
         } else {
             NO_SLOT
         };
+        if let Some(ring) = &mut self.tracer {
+            ring.record(TraceEvent {
+                t: now,
+                dur: 0,
+                line: line.0,
+                kind: if is_read {
+                    TraceKind::DramRead
+                } else {
+                    TraceKind::DramWrite
+                },
+                track: channel as u32,
+                aux: bank as u32,
+            });
+        }
         // Channel-local address keeps row-buffer locality for streams.
         let request = DramRequest {
             id,
@@ -452,6 +680,64 @@ impl GpuSystem {
         if !self.pending_dram[channel].is_empty() || !self.dram[channel].try_push(request) {
             self.pending_dram[channel].push_back(request);
             self.pending_dram_total += 1;
+        }
+    }
+
+    /// Abandons every in-flight request and returns all pooled scratch
+    /// (MSHR target lists, L2 waiter-chain nodes, trace and DRAM-read
+    /// slots) to its home pool. For harness reuse after a capped run ends
+    /// with misses still in flight; statistics already accrued are kept.
+    pub fn reset_in_flight(&mut self) {
+        for sm in &mut self.sms {
+            sm.reset_in_flight();
+        }
+        for b in &mut self.l2 {
+            b.reset_in_flight();
+        }
+        self.req_net.reset_in_flight();
+        self.rsp_net.reset_in_flight();
+        self.traces.clear();
+        self.dram_reads.clear();
+        for q in &mut self.pending_dram {
+            q.clear();
+        }
+        self.pending_dram_total = 0;
+        for c in &mut self.dram {
+            c.reset_in_flight();
+        }
+        #[cfg(debug_assertions)]
+        self.assert_quiescent_pools();
+    }
+
+    /// Debug-only pool accounting: at rest, every pooled buffer must be
+    /// home. A failure here means a recycle path leaked (e.g. an MSHR
+    /// target Vec dropped instead of returned to the spare pool).
+    #[cfg(debug_assertions)]
+    fn assert_quiescent_pools(&self) {
+        assert!(
+            self.traces.is_empty(),
+            "trace slab still holds {} in-flight reads at rest",
+            self.traces.len()
+        );
+        assert!(
+            self.dram_reads.is_empty(),
+            "dram-read slab still holds {} entries at rest",
+            self.dram_reads.len()
+        );
+        assert_eq!(self.pending_dram_total, 0, "deferred DRAM pushes at rest");
+        for (bi, b) in self.l2.iter().enumerate() {
+            assert_eq!(
+                b.waiter_nodes_live(),
+                0,
+                "L2 bank {bi} leaked waiter-chain nodes"
+            );
+        }
+        for (si, sm) in self.sms.iter().enumerate() {
+            assert_eq!(
+                sm.outstanding_misses(),
+                0,
+                "SM {si} L1 still holds live MSHR entries at rest"
+            );
         }
     }
 
@@ -699,6 +985,102 @@ mod tests {
         let slow = run(false);
         assert_eq!(fast, slow);
         assert_eq!(fast.cycles, 500, "cap must bound the skip target");
+    }
+
+    #[test]
+    fn profiling_leaves_stats_bitwise_identical_on_both_engines() {
+        let run = |skip: bool, window: Option<u64>| {
+            let mut sys = GpuSystem::new(
+                small_cfg(),
+                |_| Box::new(IdealL1::new()),
+                |s, w| streaming_program(s, w, 10),
+            );
+            sys.set_cycle_skipping(skip);
+            if let Some(win) = window {
+                sys.enable_profiler(win);
+            }
+            let stats = sys.run(1_000_000);
+            (stats, sys.take_profile())
+        };
+        let (plain, none) = run(true, None);
+        assert!(none.is_none());
+        let (skip_prof, skip_report) = run(true, Some(128));
+        let (tick_prof, tick_report) = run(false, Some(128));
+        assert_eq!(plain, skip_prof, "profiling must not perturb SimStats");
+        assert_eq!(plain, tick_prof);
+        let (sr, tr) = (skip_report.unwrap(), tick_report.unwrap());
+        assert_eq!(
+            sr.series, tr.series,
+            "windowed series must be engine-independent"
+        );
+        let covered: u64 = sr.series.samples.iter().map(|w| w.len).sum();
+        assert_eq!(covered, plain.cycles, "windows must tile the whole run");
+        let issue: u64 = sr
+            .series
+            .samples
+            .iter()
+            .map(|w| w.counters.issue_cycles)
+            .sum();
+        assert_eq!(issue, plain.sm.issue_cycles, "deltas must sum to the total");
+    }
+
+    #[test]
+    fn tracer_records_the_full_read_path_and_exports_valid_json() {
+        let mut sys = GpuSystem::new(
+            small_cfg(),
+            |_| Box::new(IdealL1::new()),
+            |s, w| streaming_program(s, w, 4),
+        );
+        sys.enable_tracer(4096);
+        let stats = sys.run(1_000_000);
+        let ring = sys.take_trace().expect("tracer was enabled");
+        assert_eq!(ring.dropped(), 0, "4096 slots must hold this small run");
+        use fuse_obs::trace::TraceKind as K;
+        let count = |k: K| ring.iter().filter(|e| e.kind == k).count() as u64;
+        assert_eq!(count(K::SpanNetReq), stats.completed_reads);
+        assert_eq!(count(K::SpanL2Dram), stats.completed_reads);
+        assert_eq!(count(K::SpanNetRsp), stats.completed_reads);
+        assert_eq!(count(K::SpanDram), stats.dram_accesses);
+        assert!(count(K::Coalesce) > 0, "issue-stage trace point must fire");
+        let js = ring.chrome_trace_json();
+        fuse_obs::json::validate(&js).expect("chrome trace must be valid JSON");
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_stats() {
+        let run = |trace: bool| {
+            let mut sys = GpuSystem::new(
+                small_cfg(),
+                |_| Box::new(IdealL1::new()),
+                |s, w| streaming_program(s, w, 10),
+            );
+            if trace {
+                sys.enable_tracer(64);
+            }
+            sys.run(1_000_000)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn reset_in_flight_drains_a_capped_run_to_quiescence() {
+        let mut sys = GpuSystem::new(
+            small_cfg(),
+            |_| Box::new(IdealL1::new()),
+            |s, w| streaming_program(s, w, 50),
+        );
+        // Cap the run mid-flight: requests are stranded in every layer.
+        let stats = sys.run(300);
+        assert_eq!(stats.cycles, 300);
+        assert!(!sys.is_done(), "cap must strand in-flight work");
+        sys.reset_in_flight();
+        assert!(
+            sys.traces.is_empty() && sys.dram_reads.is_empty(),
+            "slabs must come back empty"
+        );
+        assert!(sys.req_net.is_idle() && sys.rsp_net.is_idle());
+        assert!(sys.l2.iter().all(|b| b.is_idle()));
+        assert!(sys.dram.iter().all(|c| c.occupancy() == 0));
     }
 
     #[test]

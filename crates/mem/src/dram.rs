@@ -209,6 +209,13 @@ impl DramChannel {
         self.stats
     }
 
+    /// Drops every queued and in-service request (capacity is retained;
+    /// bank timing state and statistics already accrued are kept).
+    pub fn reset_in_flight(&mut self) {
+        self.queue.clear();
+        self.in_service.clear();
+    }
+
     fn bank_and_row(&self, line: u64) -> (usize, u64) {
         let row = line / self.timing.lines_per_row;
         let bank = (row as usize) % self.timing.banks;

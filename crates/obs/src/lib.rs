@@ -1,0 +1,32 @@
+//! # fuse-obs — observability layer for the FUSE reproduction
+//!
+//! Every FUSE figure is a claim about *where cycles go* (Fig. 1a's
+//! off-chip stall decomposition, Fig. 17's network residency, Fig. 18's
+//! DRAM residency), but end-of-run aggregates cannot show stall
+//! *composition over time* or where the simulator itself spends wall
+//! clock. This crate supplies the two missing instruments:
+//!
+//! * [`profile`] — a cycle-attribution profiler: windowed sampling of the
+//!   engine's deterministic counters (issue / mem-stall / reservation /
+//!   idle per window, plus cache, network and DRAM activity) and sampled
+//!   per-phase wall-time attribution;
+//! * [`trace`] — a ring-buffered structured event tracer with a Chrome
+//!   `trace_event` JSON exporter, so one kernel's memory pipeline
+//!   (coalesce → L1 miss → icnt inject → L2 → DRAM → response) opens in
+//!   `about:tracing` / [Perfetto](https://ui.perfetto.dev);
+//! * [`json`] — a minimal JSON syntax checker so the exporters' output can
+//!   be round-trip-validated in tests without external dependencies.
+//!
+//! The crate is a dependency-free leaf (pure `std`, mirroring the
+//! `fuse-bench` pattern) so `fuse-gpu` can depend on it without cycles.
+//! Observability is pay-for-what-you-use by design: the engine holds
+//! `Option`s of these types, and with both `None` the per-cycle cost is a
+//! pair of branch tests — `SimStats` stays bitwise identical and the
+//! steady-state loop stays allocation-free (DESIGN.md §3d/§3e).
+
+pub mod json;
+pub mod profile;
+pub mod trace;
+
+pub use profile::{CounterSnapshot, CycleProfiler, ProfileReport, StallSeries, WindowSample};
+pub use trace::{TraceEvent, TraceKind, TraceRing};

@@ -1,0 +1,417 @@
+//! Cycle-attribution profiler: windowed stall-breakdown time series plus
+//! sampled per-phase wall-time attribution.
+//!
+//! # Window semantics
+//!
+//! The engine owns a monotonic set of counters (per-SM stall
+//! classification, cache hit/miss totals, network and DRAM activity). The
+//! profiler snapshots them at fixed simulated-cycle boundaries — every
+//! `window` cycles — and stores the *delta* per window, turning the
+//! end-of-run aggregate into a time series: which fraction of each window
+//! was issue, memory stall, reservation stall or idle, and how much
+//! traffic each level moved.
+//!
+//! Windows are aligned to the cycle counter, never to wall clock, so the
+//! series is **deterministic**: the same simulation produces the same
+//! series on any machine. Under event-driven cycle skipping the engine
+//! clamps each skip to the next window boundary; because every bulk
+//! credit (`advance_idle`) is linear in the span, splitting a skip at a
+//! boundary leaves all counters — and therefore `SimStats` — bitwise
+//! unchanged, while the windowed series comes out identical to the
+//! tick-by-tick engine's (the `skip_equivalence` suite proves both
+//! properties on the full workload grid).
+//!
+//! # Wall-time attribution
+//!
+//! Per-window wall time is stamped with one [`Instant`] read per
+//! boundary. Per-*phase* attribution (SM issue vs interconnect vs L2 vs
+//! DRAM vs response delivery) samples one tick in
+//! [`CycleProfiler::SAMPLE_PERIOD`] with fine-grained timers and scales
+//! up, keeping the profiler inside the ≤5 % overhead budget. Wall numbers
+//! live *outside* the deterministic series ([`StallSeries`] compares
+//! equal across machines and engines; [`ProfileReport`] carries the wall
+//! data alongside it).
+
+use std::time::Instant;
+
+/// Monotonic engine counters the profiler samples at window boundaries.
+///
+/// The engine assembles one of these (O(components), boundary-only) from
+/// the same counters `SimStats` aggregates, so a window delta is exactly
+/// "what the run statistics gained during the window".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Σ per-SM cycles in which an instruction issued.
+    pub issue_cycles: u64,
+    /// Σ per-SM cycles lost to off-chip memory stalls.
+    pub mem_stall_cycles: u64,
+    /// Σ per-SM cycles lost to structural L1 rejections.
+    pub reservation_stall_cycles: u64,
+    /// Σ per-SM cycles with no runnable work.
+    pub idle_cycles: u64,
+    /// Σ L1D hits.
+    pub l1_hits: u64,
+    /// Σ L1D misses.
+    pub l1_misses: u64,
+    /// Packets injected into the request network (outgoing references).
+    pub outgoing_packets: u64,
+    /// Σ L2 slice accesses.
+    pub l2_accesses: u64,
+    /// Σ DRAM column accesses.
+    pub dram_accesses: u64,
+}
+
+impl CounterSnapshot {
+    /// Per-field difference `self - earlier` (fields are monotonic).
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            issue_cycles: self.issue_cycles - earlier.issue_cycles,
+            mem_stall_cycles: self.mem_stall_cycles - earlier.mem_stall_cycles,
+            reservation_stall_cycles: self.reservation_stall_cycles
+                - earlier.reservation_stall_cycles,
+            idle_cycles: self.idle_cycles - earlier.idle_cycles,
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            outgoing_packets: self.outgoing_packets - earlier.outgoing_packets,
+            l2_accesses: self.l2_accesses - earlier.l2_accesses,
+            dram_accesses: self.dram_accesses - earlier.dram_accesses,
+        }
+    }
+}
+
+/// One closed window: counter deltas over `[start, start + len)` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSample {
+    /// First cycle of the window.
+    pub start: u64,
+    /// Cycles covered (the final window of a run may be partial).
+    pub len: u64,
+    /// Counter gains over the window.
+    pub counters: CounterSnapshot,
+}
+
+/// The deterministic stall-breakdown time series of one run.
+///
+/// Compares equal across engines (skip vs tick) and machines; wall-clock
+/// data is deliberately excluded (see [`ProfileReport`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallSeries {
+    /// Nominal window length in cycles.
+    pub window: u64,
+    /// Closed windows in cycle order.
+    pub samples: Vec<WindowSample>,
+}
+
+/// Sampled per-phase wall-time attribution for the engine's tick.
+///
+/// One tick in [`CycleProfiler::SAMPLE_PERIOD`] is timed phase-by-phase;
+/// multiply a phase's nanoseconds by `total_ticks / sampled_ticks` for an
+/// estimate of its whole-run cost. Machine-dependent by nature — never
+/// part of [`StallSeries`] equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WallPhases {
+    /// SM issue + L1D pipelines.
+    pub sm_ns: u64,
+    /// Request-collection and interconnect ticks (both directions).
+    pub icnt_ns: u64,
+    /// L2 slice service.
+    pub l2_ns: u64,
+    /// DRAM retry queues, channel ticks and fills.
+    pub dram_ns: u64,
+    /// Response delivery back to the L1s.
+    pub respond_ns: u64,
+    /// Ticks that were phase-timed.
+    pub sampled_ticks: u64,
+    /// All ticks executed while profiling.
+    pub total_ticks: u64,
+}
+
+impl WallPhases {
+    /// Adds one sampled tick's phase durations (nanoseconds, in the order
+    /// sm / icnt / l2 / dram / respond).
+    pub fn add_sample(&mut self, ns: [u64; 5]) {
+        self.sm_ns += ns[0];
+        self.icnt_ns += ns[1];
+        self.l2_ns += ns[2];
+        self.dram_ns += ns[3];
+        self.respond_ns += ns[4];
+        self.sampled_ticks += 1;
+    }
+}
+
+/// Everything one profiled run produced.
+///
+/// The deterministic part is `series`; `window_wall_ns` and
+/// `window_skipped` are engine- or machine-dependent diagnostics carried
+/// in parallel vectors (one entry per closed window), deliberately kept
+/// out of [`StallSeries`] so its equality stays engine-independent.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// The deterministic windowed series.
+    pub series: StallSeries,
+    /// Wall nanoseconds per closed window (parallel to `series.samples`).
+    pub window_wall_ns: Vec<u64>,
+    /// Cycles fast-forwarded per closed window (all zero on the tick
+    /// engine — engine-dependent, hence outside the series).
+    pub window_skipped: Vec<u64>,
+    /// Sampled per-phase wall attribution.
+    pub wall: WallPhases,
+}
+
+impl ProfileReport {
+    /// Serialises the report as a single JSON object (all-integer fields,
+    /// so the output is byte-stable for the deterministic part).
+    pub fn to_json(&self, workload: &str, config: &str) -> String {
+        let mut s = String::with_capacity(256 + 160 * self.series.samples.len());
+        s.push_str(&format!(
+            "{{\"workload\":{},\"config\":{},\"window\":{},\"windows\":[\n",
+            crate::json::escape(workload),
+            crate::json::escape(config),
+            self.series.window,
+        ));
+        for (i, w) in self.series.samples.iter().enumerate() {
+            if i > 0 {
+                s.push_str(",\n");
+            }
+            let c = &w.counters;
+            let wall = self.window_wall_ns.get(i).copied().unwrap_or(0);
+            let skipped = self.window_skipped.get(i).copied().unwrap_or(0);
+            s.push_str(&format!(
+                "{{\"start\":{},\"len\":{},\"issue\":{},\"mem_stall\":{},\"reservation\":{},\
+                 \"idle\":{},\"l1_hits\":{},\"l1_misses\":{},\"outgoing\":{},\"l2_accesses\":{},\
+                 \"dram_accesses\":{},\"skipped\":{},\"wall_ns\":{}}}",
+                w.start,
+                w.len,
+                c.issue_cycles,
+                c.mem_stall_cycles,
+                c.reservation_stall_cycles,
+                c.idle_cycles,
+                c.l1_hits,
+                c.l1_misses,
+                c.outgoing_packets,
+                c.l2_accesses,
+                c.dram_accesses,
+                skipped,
+                wall,
+            ));
+        }
+        let p = &self.wall;
+        s.push_str(&format!(
+            "\n],\"wall_phases\":{{\"sm_ns\":{},\"icnt_ns\":{},\"l2_ns\":{},\"dram_ns\":{},\
+             \"respond_ns\":{},\"sampled_ticks\":{},\"total_ticks\":{}}}}}\n",
+            p.sm_ns, p.icnt_ns, p.l2_ns, p.dram_ns, p.respond_ns, p.sampled_ticks, p.total_ticks,
+        ));
+        s
+    }
+}
+
+/// The windowed profiler the engine drives.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_obs::profile::{CounterSnapshot, CycleProfiler};
+///
+/// let mut p = CycleProfiler::new(100);
+/// assert_eq!(p.next_boundary(), 100);
+/// let snap = CounterSnapshot { issue_cycles: 40, idle_cycles: 60, ..Default::default() };
+/// p.close_window(100, snap, 0);
+/// let report = p.finish(100, snap, 0); // nothing after the boundary: no partial window
+/// assert_eq!(report.series.samples.len(), 1);
+/// assert_eq!(report.series.samples[0].counters.issue_cycles, 40);
+/// ```
+#[derive(Debug)]
+pub struct CycleProfiler {
+    window: u64,
+    window_start: u64,
+    prev: CounterSnapshot,
+    prev_skipped: u64,
+    series: StallSeries,
+    window_wall_ns: Vec<u64>,
+    window_skipped: Vec<u64>,
+    last_boundary_at: Instant,
+    wall: WallPhases,
+}
+
+impl CycleProfiler {
+    /// Phase-level wall timing covers one tick in this many.
+    pub const SAMPLE_PERIOD: u64 = 64;
+
+    /// A profiler closing a window every `window` simulated cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "profiling window must be non-zero");
+        CycleProfiler {
+            window,
+            window_start: 0,
+            prev: CounterSnapshot::default(),
+            prev_skipped: 0,
+            series: StallSeries {
+                window,
+                samples: Vec::with_capacity(64),
+            },
+            window_wall_ns: Vec::with_capacity(64),
+            window_skipped: Vec::with_capacity(64),
+            last_boundary_at: Instant::now(),
+            wall: WallPhases::default(),
+        }
+    }
+
+    /// Re-anchors the window grid so the first window starts at `now`
+    /// with `snap` (and `skipped_total`) as its baseline — for profilers
+    /// attached to an engine that has already run. Only legal before any
+    /// window closes.
+    pub fn rebase(&mut self, now: u64, snap: CounterSnapshot, skipped_total: u64) {
+        debug_assert!(
+            self.series.samples.is_empty(),
+            "rebase after a window closed"
+        );
+        self.window_start = now;
+        self.prev = snap;
+        self.prev_skipped = skipped_total;
+    }
+
+    /// The cycle at which the current window closes. The engine clamps
+    /// skip targets to this, so skipped spans credit windows exactly.
+    pub fn next_boundary(&self) -> u64 {
+        self.window_start + self.window
+    }
+
+    /// Registers one executed tick; returns true when this tick should be
+    /// phase-timed (1 in [`CycleProfiler::SAMPLE_PERIOD`]).
+    pub fn note_tick(&mut self) -> bool {
+        self.wall.total_ticks += 1;
+        self.wall.total_ticks % Self::SAMPLE_PERIOD == 1
+    }
+
+    /// Adds one sampled tick's phase durations.
+    pub fn add_phase_sample(&mut self, ns: [u64; 5]) {
+        self.wall.add_sample(ns);
+    }
+
+    /// Closes the window ending at `now` with the engine's current
+    /// counters and cumulative skip total. `now` is normally the boundary
+    /// itself; a larger value only occurs on [`CycleProfiler::finish`]'s
+    /// partial flush.
+    pub fn close_window(&mut self, now: u64, snap: CounterSnapshot, skipped_total: u64) {
+        debug_assert!(now > self.window_start, "closing an empty window");
+        self.series.samples.push(WindowSample {
+            start: self.window_start,
+            len: now - self.window_start,
+            counters: snap.delta(&self.prev),
+        });
+        self.window_skipped.push(skipped_total - self.prev_skipped);
+        let t = Instant::now();
+        self.window_wall_ns
+            .push(t.duration_since(self.last_boundary_at).as_nanos() as u64);
+        self.last_boundary_at = t;
+        self.window_start = now;
+        self.prev = snap;
+        self.prev_skipped = skipped_total;
+    }
+
+    /// Flushes the partial window ending at `now` (if any cycles accrued
+    /// since the last boundary) and returns the run's report.
+    pub fn finish(mut self, now: u64, snap: CounterSnapshot, skipped_total: u64) -> ProfileReport {
+        if now > self.window_start {
+            self.close_window(now, snap, skipped_total);
+        }
+        ProfileReport {
+            series: self.series,
+            window_wall_ns: self.window_wall_ns,
+            window_skipped: self.window_skipped,
+            wall: self.wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(issue: u64, mem: u64, idle: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            issue_cycles: issue,
+            mem_stall_cycles: mem,
+            idle_cycles: idle,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn windows_store_deltas_not_totals() {
+        let mut p = CycleProfiler::new(10);
+        p.close_window(10, snap(4, 6, 0), 0);
+        p.close_window(20, snap(5, 14, 1), 0);
+        let r = p.finish(20, snap(5, 14, 1), 0);
+        assert_eq!(r.series.samples.len(), 2);
+        assert_eq!(r.series.samples[0].counters.issue_cycles, 4);
+        assert_eq!(r.series.samples[1].counters.issue_cycles, 1);
+        assert_eq!(r.series.samples[1].counters.mem_stall_cycles, 8);
+        assert_eq!(r.series.samples[1].start, 10);
+        assert_eq!(r.window_wall_ns.len(), 2, "one wall stamp per window");
+    }
+
+    #[test]
+    fn finish_flushes_a_partial_window() {
+        let mut p = CycleProfiler::new(100);
+        p.close_window(100, snap(50, 50, 0), 0);
+        let r = p.finish(130, snap(60, 70, 0), 0);
+        assert_eq!(r.series.samples.len(), 2);
+        assert_eq!(
+            r.series.samples[1].len, 30,
+            "partial window keeps its length"
+        );
+        assert_eq!(r.series.samples[1].counters.mem_stall_cycles, 20);
+    }
+
+    #[test]
+    fn finish_at_a_boundary_adds_nothing() {
+        let mut p = CycleProfiler::new(10);
+        p.close_window(10, snap(1, 2, 7), 0);
+        let r = p.finish(10, snap(1, 2, 7), 0);
+        assert_eq!(r.series.samples.len(), 1);
+    }
+
+    #[test]
+    fn note_tick_samples_one_in_period() {
+        let mut p = CycleProfiler::new(10);
+        let sampled = (0..(CycleProfiler::SAMPLE_PERIOD * 3))
+            .filter(|_| p.note_tick())
+            .count();
+        assert_eq!(sampled, 3);
+        assert_eq!(p.wall.total_ticks, CycleProfiler::SAMPLE_PERIOD * 3);
+    }
+
+    #[test]
+    fn series_equality_ignores_wall_clock() {
+        let build = || {
+            let mut p = CycleProfiler::new(10);
+            p.close_window(10, snap(3, 3, 4), 0);
+            p.finish(15, snap(5, 4, 6), 0)
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.series, b.series, "series is machine-independent");
+    }
+
+    #[test]
+    fn report_json_is_valid_and_carries_the_series() {
+        let mut p = CycleProfiler::new(10);
+        p.close_window(10, snap(4, 6, 0), 0);
+        let r = p.finish(12, snap(5, 7, 0), 0);
+        let js = r.to_json("ATAX", "Dy-FUSE");
+        crate::json::validate(&js).expect("profile JSON must parse");
+        assert!(js.contains("\"workload\":\"ATAX\""));
+        assert!(js.contains("\"mem_stall\":6"));
+        assert!(js.contains("\"wall_phases\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_rejected() {
+        let _ = CycleProfiler::new(0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Structured event tracer: a fixed-capacity ring of packet-level trace
+//! points with a Chrome `trace_event` JSON exporter.
+//!
+//! # Trace-point inventory
+//!
+//! The engine records one [`TraceEvent`] per pipeline transition of a
+//! memory request:
+//!
+//! | kind | shape | meaning |
+//! |------|-------|---------|
+//! | [`TraceKind::Coalesce`]     | instant | a warp's memory op coalesced into cache lines at an SM |
+//! | [`TraceKind::IcntInject`]   | instant | a miss packet entered the request network |
+//! | [`TraceKind::WriteThrough`] | instant | a write-through packet entered the request network |
+//! | [`TraceKind::DramRead`]     | instant | an L2 miss queued a DRAM read |
+//! | [`TraceKind::DramWrite`]    | instant | an L2 eviction/write queued a DRAM write |
+//! | [`TraceKind::SpanNetReq`]   | span    | request-network residency (inject → L2 arrival) |
+//! | [`TraceKind::SpanL2Dram`]   | span    | L2 service incl. any DRAM round trip (L2 in → response out) |
+//! | [`TraceKind::SpanNetRsp`]   | span    | response-network residency (L2 out → SM delivery) |
+//! | [`TraceKind::SpanDram`]     | span    | DRAM channel occupancy (queued → completion) |
+//!
+//! `track` selects the lane inside the component group (SM index, L2 bank,
+//! DRAM channel); `aux` carries kind-specific detail (warp id, packet id,
+//! flit count). Timestamps are simulated cycles; the exporter maps one
+//! cycle to one microsecond so Perfetto's zoom levels behave.
+//!
+//! # Ring discipline
+//!
+//! The ring allocates once at enable time and **never** on the record
+//! path; when full it overwrites the oldest events and counts the drops,
+//! so tracing a long run keeps the *tail* of the pipeline activity —
+//! usually what a divergence hunt needs — at a bounded memory cost.
+
+/// What a trace point marks. Span kinds carry a nonzero duration;
+/// instant kinds render as zero-width markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A warp's memory instruction coalesced at an SM.
+    Coalesce,
+    /// A miss packet injected into the request network.
+    IcntInject,
+    /// A write-through packet injected into the request network.
+    WriteThrough,
+    /// A DRAM read queued by an L2 miss.
+    DramRead,
+    /// A DRAM write queued by the L2.
+    DramWrite,
+    /// Request-network residency span (inject → L2 arrival).
+    SpanNetReq,
+    /// L2 service span, including any DRAM round trip.
+    SpanL2Dram,
+    /// Response-network residency span (L2 out → SM delivery).
+    SpanNetRsp,
+    /// DRAM channel occupancy span (queued → completion).
+    SpanDram,
+}
+
+impl TraceKind {
+    /// True for kinds that render as duration (`ph:"X"`) events.
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            TraceKind::SpanNetReq
+                | TraceKind::SpanL2Dram
+                | TraceKind::SpanNetRsp
+                | TraceKind::SpanDram
+        )
+    }
+
+    /// Event label shown in the trace viewer.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Coalesce => "coalesce",
+            TraceKind::IcntInject => "icnt_inject",
+            TraceKind::WriteThrough => "write_through",
+            TraceKind::DramRead => "dram_read",
+            TraceKind::DramWrite => "dram_write",
+            TraceKind::SpanNetReq => "net_req",
+            TraceKind::SpanL2Dram => "l2+dram",
+            TraceKind::SpanNetRsp => "net_rsp",
+            TraceKind::SpanDram => "dram",
+        }
+    }
+
+    /// Chrome-trace process id grouping the component lanes
+    /// (1 = SMs, 2 = interconnect, 3 = L2 slices, 4 = DRAM channels).
+    pub fn pid(self) -> u32 {
+        match self {
+            TraceKind::Coalesce => 1,
+            TraceKind::IcntInject | TraceKind::WriteThrough => 2,
+            TraceKind::SpanNetReq | TraceKind::SpanNetRsp => 2,
+            TraceKind::SpanL2Dram => 3,
+            TraceKind::DramRead | TraceKind::DramWrite | TraceKind::SpanDram => 4,
+        }
+    }
+}
+
+/// One recorded trace point. `Copy` and 40 bytes so the ring stores them
+/// inline with no per-event allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Start cycle (for spans) or event cycle (for instants).
+    pub t: u64,
+    /// Span length in cycles; 0 for instants.
+    pub dur: u64,
+    /// The cache line involved.
+    pub line: u64,
+    /// Trace-point kind.
+    pub kind: TraceKind,
+    /// Lane within the component group (SM index, bank, channel).
+    pub track: u32,
+    /// Kind-specific detail (warp id, packet id, flit count).
+    pub aux: u32,
+}
+
+/// Fixed-capacity event ring. Allocates its buffer once in
+/// [`TraceRing::with_capacity`]; [`TraceRing::record`] never allocates.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_obs::trace::{TraceEvent, TraceKind, TraceRing};
+///
+/// let mut ring = TraceRing::with_capacity(2);
+/// for t in 0..3 {
+///     ring.record(TraceEvent {
+///         t,
+///         dur: 0,
+///         line: 0x40,
+///         kind: TraceKind::IcntInject,
+///         track: 0,
+///         aux: t as u32,
+///     });
+/// }
+/// assert_eq!(ring.dropped(), 1); // oldest event overwritten
+/// assert_eq!(ring.iter().map(|e| e.t).collect::<Vec<_>>(), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index the next event lands at once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be non-zero");
+        TraceRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest one when full.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events in recording order (oldest surviving first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, tail) = self.buf.split_at(self.head);
+        tail.iter().chain(wrapped.iter())
+    }
+
+    /// Exports the ring as Chrome `trace_event` JSON (the "JSON object
+    /// format": `{"traceEvents": [...], ...}`), loadable in
+    /// `about:tracing` or Perfetto. One simulated cycle maps to one
+    /// microsecond of trace time.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut s = String::with_capacity(128 + 120 * self.buf.len());
+        s.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let mut first = true;
+        for (pid, name) in [(1, "SM"), (2, "Interconnect"), (3, "L2"), (4, "DRAM")] {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ));
+        }
+        for ev in self.iter() {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let kind = ev.kind;
+            if kind.is_span() {
+                s.push_str(&format!(
+                    "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\
+                     \"args\":{{\"line\":\"0x{:x}\",\"aux\":{}}}}}",
+                    kind.pid(),
+                    ev.track,
+                    ev.t,
+                    ev.dur,
+                    kind.name(),
+                    ev.line,
+                    ev.aux,
+                ));
+            } else {
+                s.push_str(&format!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{},\"name\":\"{}\",\
+                     \"args\":{{\"line\":\"0x{:x}\",\"aux\":{}}}}}",
+                    kind.pid(),
+                    ev.track,
+                    ev.t,
+                    kind.name(),
+                    ev.line,
+                    ev.aux,
+                ));
+            }
+        }
+        s.push_str(&format!(
+            "\n],\"otherData\":{{\"timebase\":\"1 cycle = 1us\",\"dropped_events\":{}}}}}\n",
+            self.dropped
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            t,
+            dur: if kind.is_span() { 5 } else { 0 },
+            line: 0x1000 + t,
+            kind,
+            track: 2,
+            aux: 7,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events_and_counts_drops() {
+        let mut r = TraceRing::with_capacity(4);
+        for t in 0..10 {
+            r.record(ev(t, TraceKind::IcntInject));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let ts: Vec<u64> = r.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "oldest-first, newest tail kept");
+    }
+
+    #[test]
+    fn ring_below_capacity_preserves_order_without_drops() {
+        let mut r = TraceRing::with_capacity(8);
+        for t in 0..3 {
+            r.record(ev(t, TraceKind::SpanNetReq));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.iter().count(), 3);
+        assert!(r.iter().map(|e| e.t).eq(0..3));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_spans_and_instants() {
+        let mut r = TraceRing::with_capacity(16);
+        r.record(ev(10, TraceKind::Coalesce));
+        r.record(ev(12, TraceKind::IcntInject));
+        r.record(ev(12, TraceKind::SpanNetReq));
+        r.record(ev(20, TraceKind::SpanL2Dram));
+        r.record(ev(25, TraceKind::SpanDram));
+        let js = r.chrome_trace_json();
+        crate::json::validate(&js).expect("chrome trace JSON must parse");
+        assert!(js.contains("\"traceEvents\""));
+        assert!(js.contains("\"ph\":\"X\""), "spans present");
+        assert!(js.contains("\"ph\":\"i\""), "instants present");
+        assert!(js.contains("\"name\":\"DRAM\""), "process metadata present");
+    }
+
+    #[test]
+    fn empty_ring_still_exports_valid_json() {
+        let r = TraceRing::with_capacity(4);
+        let js = r.chrome_trace_json();
+        crate::json::validate(&js).expect("empty trace must still parse");
+        assert!(js.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn every_kind_maps_to_a_component_group() {
+        for kind in [
+            TraceKind::Coalesce,
+            TraceKind::IcntInject,
+            TraceKind::WriteThrough,
+            TraceKind::DramRead,
+            TraceKind::DramWrite,
+            TraceKind::SpanNetReq,
+            TraceKind::SpanL2Dram,
+            TraceKind::SpanNetRsp,
+            TraceKind::SpanDram,
+        ] {
+            assert!((1..=4).contains(&kind.pid()));
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = TraceRing::with_capacity(0);
+    }
+}

@@ -21,6 +21,9 @@ if ! $quick; then
     echo "==> cargo fmt --check"
     cargo fmt --all --check
 
+    # --workspace covers every member crate, fuse-obs (the observability
+    # layer) included — a new crate joins fmt/clippy coverage by joining
+    # the workspace, no edit here required.
     echo "==> cargo clippy (workspace, all targets, -D warnings)"
     cargo clippy --workspace --all-targets -- -D warnings
 fi

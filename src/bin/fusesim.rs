@@ -39,6 +39,14 @@ OPTIONS:
     --threads <N>        sweep worker threads (default: all cores)
     --json <PATH>        append the sweep entry to a BENCH_sweep.json file
     --stats-json <PATH>  write the engine-independent stats digest (sweep)
+    --metrics-out <PATH> write the windowed stall-breakdown profile as JSON
+                         (run; enables the cycle-attribution profiler)
+    --trace-out <PATH>   write a Chrome trace_event JSON — load it in
+                         Perfetto or about:tracing (run; enables tracing)
+    --metrics-window <N> profiling window in cycles (default 4096; with
+                         `sweep`, opts every cell into profiling)
+    --trace-capacity <N> event-ring capacity (default 65536; oldest events
+                         are overwritten once full)
     --no-skip            disable event-driven cycle skipping (slow tick
                          engine; statistics are bitwise identical)
     --volta              use the Fig. 19 Volta-class machine
@@ -56,6 +64,10 @@ struct Args {
     threads: Option<usize>,
     json: Option<String>,
     stats_json: Option<String>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    metrics_window: Option<u64>,
+    trace_capacity: Option<usize>,
     no_skip: bool,
     volta: bool,
     scale: f64,
@@ -73,6 +85,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         threads: None,
         json: None,
         stats_json: None,
+        metrics_out: None,
+        trace_out: None,
+        metrics_window: None,
+        trace_capacity: None,
         no_skip: false,
         volta: false,
         scale: 1.0,
@@ -106,6 +122,28 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--stats-json" => {
                 args.stats_json = Some(argv.next().ok_or("--stats-json needs a value")?);
             }
+            "--metrics-out" => {
+                args.metrics_out = Some(argv.next().ok_or("--metrics-out needs a value")?);
+            }
+            "--trace-out" => {
+                args.trace_out = Some(argv.next().ok_or("--trace-out needs a value")?);
+            }
+            "--metrics-window" => {
+                let v = argv.next().ok_or("--metrics-window needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad window {v:?}"))?;
+                if n == 0 {
+                    return Err("--metrics-window must be at least 1".to_string());
+                }
+                args.metrics_window = Some(n);
+            }
+            "--trace-capacity" => {
+                let v = argv.next().ok_or("--trace-capacity needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad capacity {v:?}"))?;
+                if n == 0 {
+                    return Err("--trace-capacity must be at least 1".to_string());
+                }
+                args.trace_capacity = Some(n);
+            }
             "--no-skip" => args.no_skip = true,
             "--volta" => args.volta = true,
             "--quiet" => args.quiet = true,
@@ -136,6 +174,12 @@ fn run_config(args: &Args) -> RunConfig {
     };
     rc.ops_scale *= args.scale;
     rc.skip = !args.no_skip;
+    if args.metrics_out.is_some() || args.metrics_window.is_some() {
+        rc.metrics_window = Some(args.metrics_window.unwrap_or(4096));
+    }
+    if args.trace_out.is_some() || args.trace_capacity.is_some() {
+        rc.trace_capacity = Some(args.trace_capacity.unwrap_or(65536));
+    }
     rc
 }
 
@@ -233,6 +277,33 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         .ok_or_else(|| format!("unknown config {:?} (try `fusesim list`)", args.config))?;
     let r = run_workload(&spec, preset, &run_config(args));
     print_result(&r, args.quiet);
+    if let Some(path) = &args.metrics_out {
+        let profile = r
+            .profile
+            .as_ref()
+            .expect("--metrics-out enables the profiler");
+        std::fs::write(path, profile.to_json(&r.workload, &r.config))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote {} profiling windows to {path}",
+            profile.series.samples.len()
+        );
+    }
+    if let Some(path) = &args.trace_out {
+        let trace = r.trace.as_ref().expect("--trace-out enables the tracer");
+        std::fs::write(path, trace.chrome_trace_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote {} trace events to {path} (load in Perfetto or about:tracing)",
+            trace.len()
+        );
+        if trace.dropped() > 0 {
+            println!(
+                "  note: ring filled; {} oldest events were overwritten (raise --trace-capacity)",
+                trace.dropped()
+            );
+        }
+    }
     Ok(())
 }
 
@@ -440,6 +511,34 @@ mod tests {
             parse_sweep_presets(&a.configs).unwrap(),
             L1Preset::FIG13.to_vec()
         );
+    }
+
+    #[test]
+    fn parses_observability_flags_and_applies_defaults() {
+        let a = args(&[
+            "run",
+            "--metrics-out",
+            "prof.json",
+            "--trace-out",
+            "trace.json",
+        ])
+        .unwrap();
+        let rc = run_config(&a);
+        assert_eq!(rc.metrics_window, Some(4096), "default window");
+        assert_eq!(rc.trace_capacity, Some(65536), "default ring capacity");
+
+        let b = args(&["run", "--metrics-window", "512", "--trace-capacity", "16"]).unwrap();
+        let rc = run_config(&b);
+        assert_eq!(rc.metrics_window, Some(512));
+        assert_eq!(rc.trace_capacity, Some(16));
+
+        let plain = run_config(&args(&["run"]).unwrap());
+        assert_eq!(plain.metrics_window, None, "observability is opt-in");
+        assert_eq!(plain.trace_capacity, None);
+
+        assert!(args(&["run", "--metrics-window", "0"]).is_err());
+        assert!(args(&["run", "--trace-capacity", "0"]).is_err());
+        assert!(args(&["run", "--metrics-out"]).is_err());
     }
 
     #[test]

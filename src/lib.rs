@@ -14,6 +14,8 @@
 //!   DASCA-style dead-write predictor;
 //! * [`gpu`] ([`fuse_gpu`]) — the cycle-driven GPU memory-hierarchy
 //!   simulator (SMs, interconnect, L2, DRAM);
+//! * [`obs`] ([`fuse_obs`]) — opt-in observability: the windowed
+//!   cycle-attribution profiler and the Chrome-trace event tracer;
 //! * [`core`] ([`fuse_core`]) — the FUSE L1D controller and all of Table
 //!   I's L1D configurations;
 //! * [`workloads`] ([`fuse_workloads`]) — the 21 calibrated synthetic
@@ -40,6 +42,7 @@ pub use fuse_cache as cache;
 pub use fuse_core as core;
 pub use fuse_gpu as gpu;
 pub use fuse_mem as mem;
+pub use fuse_obs as obs;
 pub use fuse_predict as predict;
 pub use fuse_workloads as workloads;
 

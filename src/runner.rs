@@ -12,6 +12,8 @@ use fuse_gpu::stats::SimStats;
 use fuse_gpu::system::GpuSystem;
 use fuse_mem::energy::{EnergyBreakdown, EnergyParams};
 use fuse_mem::tech::BankParams;
+use fuse_obs::profile::ProfileReport;
+use fuse_obs::trace::TraceRing;
 use fuse_workloads::spec::WorkloadSpec;
 
 /// Simulation budget and machine selection for one run.
@@ -29,6 +31,13 @@ pub struct RunConfig {
     /// Either engine yields bitwise-identical [`SimStats`]; skipping is
     /// just faster.
     pub skip: bool,
+    /// Cycle-attribution profiling window (`fusesim --metrics-out`).
+    /// `None` (the default) keeps the hot path observability-free;
+    /// `SimStats` is bitwise identical either way.
+    pub metrics_window: Option<u64>,
+    /// Event-trace ring capacity (`fusesim --trace-out`). `None` (the
+    /// default) disables tracing.
+    pub trace_capacity: Option<usize>,
 }
 
 impl RunConfig {
@@ -39,6 +48,8 @@ impl RunConfig {
             ops_scale: env_scale(),
             max_cycles: 20_000_000,
             skip: true,
+            metrics_window: None,
+            trace_capacity: None,
         }
     }
 
@@ -49,6 +60,8 @@ impl RunConfig {
             ops_scale: env_scale() * 0.25,
             max_cycles: 20_000_000,
             skip: true,
+            metrics_window: None,
+            trace_capacity: None,
         }
     }
 
@@ -63,6 +76,8 @@ impl RunConfig {
             ops_scale: 0.25,
             max_cycles: 2_000_000,
             skip: true,
+            metrics_window: None,
+            trace_capacity: None,
         }
     }
 
@@ -95,6 +110,12 @@ pub struct RunResult {
     /// Cycles the engine fast-forwarded over (0 with `--no-skip`).
     /// Not part of `sim`: both engines must report identical statistics.
     pub skipped_cycles: u64,
+    /// Windowed stall-breakdown profile (`Some` iff
+    /// [`RunConfig::metrics_window`] was set).
+    pub profile: Option<ProfileReport>,
+    /// Packet-level event trace (`Some` iff
+    /// [`RunConfig::trace_capacity`] was set).
+    pub trace: Option<TraceRing>,
 }
 
 impl RunResult {
@@ -122,7 +143,7 @@ impl RunResult {
 fn collect(
     workload: &str,
     config_name: &str,
-    sys: &GpuSystem,
+    sys: &mut GpuSystem,
     sim: SimStats,
     banks: (Option<BankParams>, Option<BankParams>),
 ) -> RunResult {
@@ -148,6 +169,17 @@ fn collect(
         metrics,
         energy,
         skipped_cycles: sys.skipped_cycles(),
+        profile: sys.take_profile(),
+        trace: sys.take_trace(),
+    }
+}
+
+fn apply_observability(sys: &mut GpuSystem, rc: &RunConfig) {
+    if let Some(window) = rc.metrics_window {
+        sys.enable_profiler(window);
+    }
+    if let Some(capacity) = rc.trace_capacity {
+        sys.enable_tracer(capacity);
     }
 }
 
@@ -170,8 +202,15 @@ pub fn run_workload(spec: &WorkloadSpec, preset: L1Preset, rc: &RunConfig) -> Ru
         |sm, warp| spec.program(sm, warp, ops),
     );
     sys.set_cycle_skipping(rc.skip);
+    apply_observability(&mut sys, rc);
     let sim = sys.run(rc.max_cycles);
-    collect(spec.name, preset.name(), &sys, sim, preset.energy_banks())
+    collect(
+        spec.name,
+        preset.name(),
+        &mut sys,
+        sim,
+        preset.energy_banks(),
+    )
 }
 
 /// Runs `spec` on an arbitrary [`L1Config`] (the Fig. 18 ratio sweep and
@@ -190,8 +229,9 @@ pub fn run_l1_config(
         |sm, warp| spec.program(sm, warp, ops),
     );
     sys.set_cycle_skipping(rc.skip);
+    apply_observability(&mut sys, rc);
     let sim = sys.run(rc.max_cycles);
-    collect(spec.name, config_name, &sys, sim, banks)
+    collect(spec.name, config_name, &mut sys, sim, banks)
 }
 
 /// Geometric mean (the paper's GMEANS column). Ignores non-positive
@@ -252,6 +292,26 @@ mod tests {
         assert_eq!(fast.sim, slow.sim, "engines must agree bitwise");
         assert_eq!(slow.skipped_cycles, 0);
         assert!(fast.skipped_cycles > 0, "smoke runs have dead cycles");
+    }
+
+    #[test]
+    fn observability_is_off_by_default_and_opt_in() {
+        let w = by_name("ATAX").unwrap();
+        let plain = run_workload(&w, L1Preset::DyFuse, &RunConfig::smoke());
+        assert!(plain.profile.is_none() && plain.trace.is_none());
+        let rc = RunConfig {
+            metrics_window: Some(1024),
+            trace_capacity: Some(4096),
+            ..RunConfig::smoke()
+        };
+        let obs = run_workload(&w, L1Preset::DyFuse, &rc);
+        assert_eq!(plain.sim, obs.sim, "observability must not perturb stats");
+        let profile = obs.profile.expect("profiler was on");
+        assert!(!profile.series.samples.is_empty());
+        let covered: u64 = profile.series.samples.iter().map(|s| s.len).sum();
+        assert_eq!(covered, obs.sim.cycles, "windows tile the run");
+        let trace = obs.trace.expect("tracer was on");
+        assert!(trace.iter().next().is_some(), "a DyFuse run emits events");
     }
 
     #[test]

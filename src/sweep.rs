@@ -141,6 +141,16 @@ impl SweepPlan {
         self
     }
 
+    /// Opts every cell into cycle-attribution profiling with the given
+    /// window (`fusesim sweep --metrics-window`). Cell statistics stay
+    /// bitwise identical; the per-cell reports ride along in
+    /// [`RunResult::profile`] and the `BENCH_sweep.json` entry gains
+    /// per-cell window counts.
+    pub fn metrics_window(mut self, window: u64) -> Self {
+        self.run_config.metrics_window = Some(window);
+        self
+    }
+
     /// Grid cells in the plan.
     pub fn len(&self) -> usize {
         self.workloads.len() * self.configs.len()
@@ -366,40 +376,49 @@ impl SweepReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + 128 * self.cells.len());
         s.push_str(&format!(
-            "{{\"name\":{},\"engine\":{},\"threads\":{},\"grid\":[{},{}],\"wall_ms\":{:.3},\
-             \"serial_estimate_ms\":{:.3},\"speedup_vs_serial\":{:.3},\
-             \"sim_cycles\":{},\"sim_cycles_per_sec\":{:.0},\"cells\":[",
+            "{{\"name\":{},\"engine\":{},\"threads\":{},\"grid\":[{},{}],\"wall_ms\":{},\
+             \"serial_estimate_ms\":{},\"speedup_vs_serial\":{},\
+             \"sim_cycles\":{},\"sim_cycles_per_sec\":{},\"cells\":[",
             json_str(&self.name),
             json_str(&self.engine),
             self.threads,
             self.workloads.len(),
             self.configs.len(),
-            self.wall_ns as f64 / 1e6,
-            self.serial_estimate_ns() as f64 / 1e6,
-            self.speedup_vs_serial(),
+            json_f64(self.wall_ns as f64 / 1e6, 3),
+            json_f64(self.serial_estimate_ns() as f64 / 1e6, 3),
+            json_f64(self.speedup_vs_serial(), 3),
             self.sim_cycles_total(),
-            self.sim_cycles_per_sec(),
+            json_f64(self.sim_cycles_per_sec(), 0),
         ));
         for (i, cell) in self.cells.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
             let r = &cell.result;
+            let (stall_net, stall_mem) = r.sim.offchip_decomposition();
             s.push_str(&format!(
-                "{{\"workload\":{},\"config\":{},\"wall_ms\":{:.3},\"cycles\":{},\
-                 \"cycles_per_sec\":{:.0},\"ipc\":{:.6},\"skipped\":{},\"skipped_frac\":{:.4}}}",
+                "{{\"workload\":{},\"config\":{},\"wall_ms\":{},\"cycles\":{},\
+                 \"cycles_per_sec\":{},\"ipc\":{},\"skipped\":{},\"skipped_frac\":{},\
+                 \"stall_frac\":{},\"stall_net\":{},\"stall_mem\":{}}}",
                 json_str(&r.workload),
                 json_str(&r.config),
-                cell.wall_ns as f64 / 1e6,
+                json_f64(cell.wall_ns as f64 / 1e6, 3),
                 r.sim.cycles,
-                cell.sim_cycles_per_sec(),
-                r.ipc(),
+                json_f64(cell.sim_cycles_per_sec(), 0),
+                json_f64(r.ipc(), 6),
                 r.skipped_cycles,
-                cell.skipped_frac(),
+                json_f64(cell.skipped_frac(), 4),
+                json_f64(r.sim.offchip_stall_fraction(), 4),
+                json_f64(stall_net, 4),
+                json_f64(stall_mem, 4),
             ));
+            if let Some(profile) = &r.profile {
+                s.pop(); // re-open the cell object
+                s.push_str(&format!(",\"windows\":{}}}", profile.series.samples.len()));
+            }
             if let Some(apk) = cell.allocs_per_kcycle {
                 s.pop(); // re-open the cell object
-                s.push_str(&format!(",\"allocs_per_kcycle\":{apk:.3}}}"));
+                s.push_str(&format!(",\"allocs_per_kcycle\":{}}}", json_f64(apk, 3)));
             }
         }
         s.push_str("]}");
@@ -424,13 +443,13 @@ impl SweepReport {
             let r = &cell.result;
             s.push_str(&format!(
                 "{{\"workload\":{},\"config\":{},\"cycles\":{},\"instructions\":{},\
-                 \"ipc\":{:.6},\"l1_hits\":{},\"l1_misses\":{},\"outgoing\":{},\
+                 \"ipc\":{},\"l1_hits\":{},\"l1_misses\":{},\"outgoing\":{},\
                  \"dram_accesses\":{}}}",
                 json_str(&r.workload),
                 json_str(&r.config),
                 r.sim.cycles,
                 r.sim.instructions,
-                r.ipc(),
+                json_f64(r.ipc(), 6),
                 r.sim.l1.hits,
                 r.sim.l1.misses,
                 r.sim.outgoing_requests,
@@ -470,10 +489,27 @@ impl SweepReport {
             }
         }
         entries.push(self.to_json());
-        let mut out = String::from("{\"schema\":\"fuse-sweep-v3\",\"sweeps\":[\n");
+        let mut out = String::from("{\"schema\":\"fuse-sweep-v4\",\"sweeps\":[\n");
         out.push_str(&entries.join(",\n"));
         out.push_str("\n]}\n");
         std::fs::write(path, out)
+    }
+}
+
+/// Fixed-precision float for JSON digests. `format!("{:.p$}")` is already
+/// platform-independent (unlike shortest-repr `{}` formatting), but it
+/// can still emit `-0.000` when a tiny negative rounds to zero, and
+/// `NaN`/`inf` are not JSON at all. Both would break byte-stable digests,
+/// so negative zero is normalised and non-finite values clamp to 0.
+fn json_f64(v: f64, prec: usize) -> String {
+    if !v.is_finite() {
+        return format!("{:.prec$}", 0.0);
+    }
+    let s = format!("{v:.prec$}");
+    if s.bytes().all(|b| matches!(b, b'-' | b'0' | b'.')) && s.starts_with('-') {
+        s[1..].to_string()
+    } else {
+        s
     }
 }
 
@@ -565,7 +601,7 @@ mod tests {
         let content = std::fs::read_to_string(&path).expect("readable");
         assert_eq!(content.matches("{\"name\":\"unit\"").count(), 1);
         assert_eq!(content.matches("{\"name\":\"other\"").count(), 1);
-        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v3\""));
+        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v4\""));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -613,6 +649,55 @@ mod tests {
             !fast.stats_json().contains("wall"),
             "digest must carry no timing"
         );
+    }
+
+    #[test]
+    fn metrics_window_opt_in_profiles_every_cell() {
+        let plain = tiny_plan().threads(2).run();
+        let prof = tiny_plan().metrics_window(2048).threads(2).run();
+        for (p, q) in plain.cells.iter().zip(prof.cells.iter()) {
+            assert_eq!(
+                p.result.sim, q.result.sim,
+                "profiling must not perturb cell statistics"
+            );
+            assert!(q.result.profile.is_some(), "every cell carries a profile");
+            assert!(p.result.profile.is_none());
+        }
+        assert!(prof.to_json().contains("\"windows\":"));
+        assert!(!plain.to_json().contains("\"windows\":"));
+        assert_eq!(
+            plain.stats_json(),
+            prof.stats_json(),
+            "the engine-independent digest must not change under profiling"
+        );
+    }
+
+    #[test]
+    fn sweep_json_carries_the_stall_decomposition() {
+        let r = tiny_plan().threads(2).run();
+        let js = r.to_json();
+        assert!(js.contains("\"stall_frac\":"));
+        assert!(js.contains("\"stall_net\":"));
+        assert!(js.contains("\"stall_mem\":"));
+        assert!(!js.contains("NaN") && !js.contains("inf"));
+    }
+
+    #[test]
+    fn json_f64_never_emits_negative_zero_or_non_finite() {
+        assert_eq!(
+            json_f64(-0.00004, 4),
+            "0.0000",
+            "tiny negative rounds clean"
+        );
+        assert_eq!(json_f64(-0.0, 3), "0.000");
+        assert_eq!(json_f64(f64::NAN, 2), "0.00");
+        assert_eq!(json_f64(f64::NEG_INFINITY, 1), "0.0");
+        assert_eq!(
+            json_f64(-1.25, 2),
+            "-1.25",
+            "real negatives keep their sign"
+        );
+        assert_eq!(json_f64(2.0 / 3.0, 6), "0.666667");
     }
 
     #[test]

@@ -121,6 +121,62 @@ const SEED_DIGESTS: &[(&str, &str, u64)] = &[
     ("histo", "Dy-FUSE", 0xd31ff5fc57cc1b24),
 ];
 
+/// Third axis: the observability layer must be a pure observer. With the
+/// cycle-attribution profiler enabled on every cell of the grid, the
+/// statistics must still match the recorded seed digests bitwise (so
+/// profiling cannot perturb simulated behaviour), and the windowed stall
+/// series must come out identical under the skip and tick engines (so
+/// clamping skips at window boundaries credits windows exactly). The
+/// engine-dependent parts — per-window skip totals — live outside the
+/// series and are checked for internal consistency instead.
+#[test]
+fn profiling_preserves_digests_and_the_series_is_engine_independent() {
+    let window = 2_048;
+    let fast_rc = RunConfig {
+        metrics_window: Some(window),
+        ..smoke(true)
+    };
+    let slow_rc = RunConfig {
+        metrics_window: Some(window),
+        ..smoke(false)
+    };
+    for &(workload, config, want) in SEED_DIGESTS {
+        let spec = by_name(workload).expect("Table II workload exists");
+        let preset = match config {
+            "L1-SRAM" => L1Preset::L1Sram,
+            "Dy-FUSE" => L1Preset::DyFuse,
+            other => panic!("unknown preset {other} in the digest table"),
+        };
+        let fast = run_workload(&spec, preset, &fast_rc);
+        assert_eq!(
+            stats_digest(&fast.sim),
+            want,
+            "{workload} / {config}: enabling the profiler changed the \
+             statistics — observability must be a pure observer"
+        );
+        let slow = run_workload(&spec, preset, &slow_rc);
+        assert_eq!(fast.sim, slow.sim, "{workload} / {config}: engine split");
+        let fp = fast.profile.as_ref().expect("profiler was on (skip)");
+        let sp = slow.profile.as_ref().expect("profiler was on (tick)");
+        assert_eq!(
+            fp.series, sp.series,
+            "{workload} / {config}: windowed series diverged between the \
+             skip and tick engines"
+        );
+        let covered: u64 = fp.series.samples.iter().map(|s| s.len).sum();
+        assert_eq!(covered, fast.sim.cycles, "windows must tile the run");
+        let skipped: u64 = fp.window_skipped.iter().sum();
+        assert_eq!(
+            skipped, fast.skipped_cycles,
+            "per-window skip totals must sum to the run's skip count"
+        );
+        assert!(
+            sp.window_skipped.iter().all(|&s| s == 0),
+            "the tick engine never fast-forwards, per window included"
+        );
+    }
+}
+
 #[test]
 fn stats_match_the_recorded_std_hasher_digests() {
     assert_eq!(

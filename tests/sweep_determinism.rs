@@ -48,6 +48,46 @@ fn repeated_parallel_runs_are_identical() {
     }
 }
 
+/// Byte-exact pin of the engine-independent digest for one known cell.
+///
+/// `stats_json` is what CI diffs across engines and machines, so its
+/// bytes — not just its parsed meaning — are part of the contract. Fixed
+/// precision (`{:.6}` for IPC) is platform-independent in Rust, and the
+/// simulation itself is pinned by `skip_equivalence`'s seed digests, so
+/// this string is stable until a simulator change *intends* to move the
+/// numbers. Regenerate with `--nocapture` after such a change.
+#[test]
+fn stats_json_bytes_are_pinned_for_a_known_cell() {
+    let report = SweepPlan::new("pin", RunConfig::smoke())
+        .workloads(by_name("GEMM"))
+        .presets(&[L1Preset::L1Sram])
+        .run_serial();
+    let got = report.stats_json();
+    println!("{got}");
+    let want = "{\"name\":\"pin\",\"cells\":[\n\
+                {\"workload\":\"GEMM\",\"config\":\"L1-SRAM\",\"cycles\":8083,\
+                \"instructions\":1600,\"ipc\":0.197946,\"l1_hits\":979,\
+                \"l1_misses\":1893,\"outgoing\":1990,\"dram_accesses\":1071}\n\
+                ]}\n";
+    assert_eq!(
+        got, want,
+        "stats_json bytes moved — either the simulator intentionally \
+         changed (regenerate this pin) or float formatting regressed"
+    );
+}
+
+/// Degenerate statistics must still serialise to clean JSON: a cell whose
+/// run retired nothing has an undefined IPC (0/0), and that must come out
+/// as a plain `0.000000` — never `NaN`, `inf` or `-0.000000`.
+#[test]
+fn stats_json_survives_a_degenerate_cell() {
+    let mut report = grid().threads(2).run();
+    report.cells[0].result.sim = Default::default();
+    let js = report.stats_json();
+    assert!(js.contains("\"cycles\":0,\"instructions\":0,\"ipc\":0.000000"));
+    assert!(!js.contains("NaN") && !js.contains("inf") && !js.contains("-0.0"));
+}
+
 #[test]
 fn oversubscribed_pool_is_clamped_and_correct() {
     // More threads than cells: the pool clamps to the grid size and every
