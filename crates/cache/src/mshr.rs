@@ -182,6 +182,19 @@ impl Mshr {
     pub fn pooled_target_lists(&self) -> usize {
         self.spare.len()
     }
+
+    /// Iterates every outstanding entry as `(line, target count)`, in
+    /// table order. Introspection for an external checker: a reference
+    /// model replaying the same allocate/complete stream must see the
+    /// same outstanding set.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (LineAddr, usize)> + '_ {
+        self.entries.iter().map(|e| (e.line, e.targets.len()))
+    }
+
+    /// Total merged requesters waiting across all outstanding entries.
+    pub fn total_targets(&self) -> usize {
+        self.entries.iter().map(|e| e.targets.len()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +299,20 @@ mod tests {
         // The pooled lists are reused by the next misses.
         m.allocate(LineAddr(3), t(0), FillDest::Sram);
         assert_eq!(m.pooled_target_lists(), 1);
+    }
+
+    #[test]
+    fn introspection_sees_every_outstanding_entry() {
+        let mut m = Mshr::new(4, 8);
+        m.allocate(LineAddr(7), t(0), FillDest::Sram);
+        m.allocate(LineAddr(7), t(1), FillDest::Sram);
+        m.allocate(LineAddr(9), t(2), FillDest::Stt);
+        let mut entries: Vec<_> = m.iter_entries().collect();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(LineAddr(7), 2), (LineAddr(9), 1)]);
+        assert_eq!(m.total_targets(), 3);
+        m.complete(LineAddr(7));
+        assert_eq!(m.total_targets(), 1);
     }
 
     #[test]

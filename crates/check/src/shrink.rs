@@ -1,0 +1,174 @@
+//! Greedy spec shrinker: given a failing [`FuzzSpec`], searches for a
+//! smaller spec that still fails, so the repro that gets pinned is the
+//! minimal trace a human can actually step through.
+//!
+//! The strategy is classic delta-debugging over the spec's scalar
+//! fields: for each field try the minimum first (the biggest jump), then
+//! repeated halvings toward it; adopt the first smaller spec that still
+//! fails and start over. The failure predicate is injected so tests can
+//! drive the search without needing a real engine bug on hand.
+
+use crate::fuzz::FuzzSpec;
+
+/// Candidate values for shrinking `v` toward `min`: the minimum itself,
+/// then halvings of the distance. Ordered most-aggressive first.
+fn steps(v: u64, min: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if v <= min {
+        return out;
+    }
+    out.push(min);
+    let mut gap = (v - min) / 2;
+    while gap > 0 {
+        let cand = min + gap;
+        if cand < v && !out.contains(&cand) {
+            out.push(cand);
+        }
+        gap /= 2;
+    }
+    // Always offer the plain decrement so the search can localise an
+    // exact boundary the halvings jumped over.
+    if !out.contains(&(v - 1)) {
+        out.push(v - 1);
+    }
+    out
+}
+
+/// All one-field reductions of `spec`, most aggressive first per field.
+fn candidates(spec: &FuzzSpec) -> Vec<FuzzSpec> {
+    let mut out = Vec::new();
+    for v in steps(spec.sms as u64, 1) {
+        out.push(FuzzSpec {
+            sms: v as usize,
+            ..*spec
+        });
+    }
+    for v in steps(spec.warps as u64, 1) {
+        out.push(FuzzSpec {
+            warps: v as usize,
+            ..*spec
+        });
+    }
+    for v in steps(spec.ops as u64, 1) {
+        out.push(FuzzSpec {
+            ops: v as usize,
+            ..*spec
+        });
+    }
+    for v in steps(spec.footprint_lines, 1) {
+        out.push(FuzzSpec {
+            footprint_lines: v,
+            ..*spec
+        });
+    }
+    for v in steps(spec.store_pct as u64, 0) {
+        out.push(FuzzSpec {
+            store_pct: v as u8,
+            ..*spec
+        });
+    }
+    for v in steps(spec.scatter_pct as u64, 0) {
+        out.push(FuzzSpec {
+            scatter_pct: v as u8,
+            ..*spec
+        });
+    }
+    for v in steps(spec.compute_pct as u64, 0) {
+        out.push(FuzzSpec {
+            compute_pct: v as u8,
+            ..*spec
+        });
+    }
+    // Structural limits shrink *upward* toward generous: a failure that
+    // survives with roomy queues is simpler to reason about than one
+    // that needs starvation.
+    for v in steps(spec.mshr_entries as u64, 1) {
+        out.push(FuzzSpec {
+            mshr_entries: v as usize,
+            ..*spec
+        });
+    }
+    for v in steps(spec.l2_pending as u64, 1) {
+        out.push(FuzzSpec {
+            l2_pending: v as usize,
+            ..*spec
+        });
+    }
+    for v in steps(spec.dram_queue as u64, 1) {
+        out.push(FuzzSpec {
+            dram_queue: v as usize,
+            ..*spec
+        });
+    }
+    out
+}
+
+/// Shrinks `spec` while `fails` keeps returning true, evaluating at most
+/// `budget` candidates. Returns the smallest failing spec found (`spec`
+/// itself if nothing smaller fails).
+pub fn shrink<F>(spec: &FuzzSpec, mut fails: F, budget: usize) -> FuzzSpec
+where
+    F: FnMut(&FuzzSpec) -> bool,
+{
+    let mut current = *spec;
+    let mut evaluated = 0;
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&current) {
+            if evaluated >= budget {
+                return current;
+            }
+            evaluated += 1;
+            if fails(&cand) {
+                current = cand;
+                progressed = true;
+                break; // restart the field scan from the smaller spec
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_minimal_failing_spec() {
+        let start = FuzzSpec::from_seed(7);
+        // Synthetic bug: fails whenever at least 4 ops and 2 warps are
+        // present. The shrinker should land exactly on that boundary
+        // with everything else at minimum.
+        let minimal = shrink(&start, |s| s.ops >= 4 && s.warps >= 2, 10_000);
+        assert_eq!(minimal.ops, 4);
+        assert_eq!(minimal.warps, 2);
+        assert_eq!(minimal.sms, 1);
+        assert_eq!(minimal.footprint_lines, 1);
+        assert_eq!(minimal.store_pct, 0);
+        assert_eq!(minimal.scatter_pct, 0);
+        assert_eq!(minimal.compute_pct, 0);
+    }
+
+    #[test]
+    fn a_passing_spec_is_returned_unchanged() {
+        let start = FuzzSpec::from_seed(3);
+        assert_eq!(shrink(&start, |_| false, 1000), start);
+    }
+
+    #[test]
+    fn budget_bounds_the_search() {
+        let start = FuzzSpec::from_seed(11);
+        let mut calls = 0;
+        let _ = shrink(
+            &start,
+            |_| {
+                calls += 1;
+                true
+            },
+            5,
+        );
+        assert!(calls <= 5, "budget must cap predicate evaluations");
+    }
+}

@@ -710,6 +710,10 @@ impl L1dModel for FuseL1 {
         self.mshr.occupancy()
     }
 
+    fn outstanding_lines(&self, out: &mut Vec<fuse_cache::line::LineAddr>) {
+        out.extend(self.mshr.iter_entries().map(|(line, _)| line));
+    }
+
     fn reset_in_flight(&mut self) {
         self.mshr.reset();
         self.miss_class.clear();

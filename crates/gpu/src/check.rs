@@ -1,0 +1,281 @@
+//! Lockstep check hooks: the engine's observable-event stream.
+//!
+//! A [`CheckSink`] attached via [`crate::system::GpuSystem::attach_check_sink`]
+//! receives one [`CheckEvent`] per observable state transition in the
+//! memory hierarchy — injection, delivery, L2 response, DRAM queue/fill,
+//! response retirement, skip spans — plus a per-cycle [`CheckSink::cycle_end`]
+//! callback with read access to the whole system. `fuse-check` builds its
+//! functional reference model on this stream; the hooks themselves carry
+//! no policy.
+//!
+//! The sink is a runtime opt-in exactly like the tracer and profiler
+//! (DESIGN.md §3e): with no sink attached the per-tick cost is a `None`
+//! check, no statistic is touched either way, and the steady-state loop
+//! stays allocation-free. The 42-cell digest grid pins that claim.
+
+use crate::l1d::OutgoingKind;
+use crate::system::GpuSystem;
+
+/// One observable state transition, in engine phase order within a cycle.
+///
+/// All times are SM cycles; `line` is a cache-line address
+/// ([`fuse_cache::line::LineAddr`]`.0`); `gid` is the engine's global
+/// request id (the trace-slab slot, [`crate::slab::NO_SLOT`] for traffic
+/// that never receives a response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckEvent {
+    /// An L1 put a request on the request network (phase_inject).
+    Outgoing {
+        /// Issuing SM.
+        sm: usize,
+        /// Global request id (`NO_SLOT` for write-throughs).
+        gid: u64,
+        /// Requested line.
+        line: u64,
+        /// Traffic class.
+        kind: OutgoingKind,
+        /// Injection cycle.
+        at: u64,
+    },
+    /// The request network delivered a packet to its L2 slice.
+    ReqDeliver {
+        /// Global request id.
+        gid: u64,
+        /// Issuing SM.
+        sm: usize,
+        /// Destination L2 bank.
+        bank: usize,
+        /// Requested line.
+        line: u64,
+        /// Traffic class.
+        kind: OutgoingKind,
+        /// Delivery cycle.
+        at: u64,
+    },
+    /// An L2 slice produced a response (hit, merge drain, or fill drain).
+    L2Response {
+        /// Global request id.
+        gid: u64,
+        /// Responding L2 bank.
+        bank: usize,
+        /// Line.
+        line: u64,
+        /// Cycle the response entered the response network.
+        at: u64,
+    },
+    /// The engine queued a request toward a DRAM channel.
+    DramQueued {
+        /// Destination channel.
+        channel: usize,
+        /// Originating L2 bank.
+        bank: usize,
+        /// Line (L2-level address, *before* channel-localisation).
+        line: u64,
+        /// Read (fill) vs write-back.
+        is_read: bool,
+        /// Queue cycle.
+        at: u64,
+    },
+    /// A DRAM read completed and its fill was applied to the L2.
+    DramFill {
+        /// Servicing channel.
+        channel: usize,
+        /// Destination L2 bank.
+        bank: usize,
+        /// Line (L2-level address).
+        line: u64,
+        /// Cycle the read was queued ([`CheckEvent::DramQueued`] time).
+        queued_at: u64,
+        /// Cycle the channel says the data left the pins.
+        finished_at: u64,
+        /// Whether the access hit the open row.
+        row_hit: bool,
+        /// Cycle the engine collected the completion. Both engines must
+        /// collect exactly at `finished_at` — a skip that overshoots a
+        /// DRAM completion shows up here.
+        at: u64,
+    },
+    /// A response was delivered back to its SM and the read retired.
+    Respond {
+        /// Global request id (slot is recycled after this event).
+        gid: u64,
+        /// Destination SM.
+        sm: usize,
+        /// Line.
+        line: u64,
+        /// Retirement cycle.
+        at: u64,
+    },
+    /// The skip engine fast-forwarded over `[from, from + span)`.
+    Skip {
+        /// First skipped cycle.
+        from: u64,
+        /// Number of skipped cycles.
+        span: u64,
+    },
+}
+
+/// Receiver for the engine's check-event stream.
+///
+/// Implementations must not assume they see every run from cycle 0 — the
+/// sink can be attached to a system that already executed.
+pub trait CheckSink {
+    /// Called at each observable state transition, in phase order.
+    fn event(&mut self, e: CheckEvent);
+
+    /// Called once at the end of every ticked cycle (after all phases,
+    /// before the clock advances past `cycle`) with read access to the
+    /// whole system, so a checker can compare its model against live
+    /// occupancy — trace slots, MSHR contents, L2 pending lines, DRAM
+    /// queues. Default: no-op.
+    fn cycle_end(&mut self, sys: &GpuSystem, cycle: u64) {
+        let _ = (sys, cycle);
+    }
+
+    /// Downcast support, so a concrete checker can be recovered after
+    /// [`GpuSystem::detach_check_sink`] (same idiom as
+    /// [`crate::l1d::L1dModel::as_any`]).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::l1d::IdealL1;
+    use crate::warp::{MemOp, StreamProgram, WarpOp, WarpProgram};
+
+    /// Counts events and cycle_end callbacks; remembers retired gids.
+    #[derive(Default, Clone)]
+    struct Recorder {
+        events: Vec<CheckEvent>,
+        cycle_ends: u64,
+        live_mismatch: bool,
+        live: std::collections::HashSet<u64>,
+    }
+
+    impl CheckSink for Recorder {
+        fn event(&mut self, e: CheckEvent) {
+            match e {
+                CheckEvent::Outgoing { gid, kind, .. } if kind.expects_response() => {
+                    assert!(self.live.insert(gid), "gid reused while live");
+                }
+                CheckEvent::Respond { gid, .. } => {
+                    assert!(self.live.remove(&gid), "response without a live gid");
+                }
+                _ => {}
+            }
+            self.events.push(e);
+        }
+
+        fn cycle_end(&mut self, sys: &GpuSystem, _cycle: u64) {
+            self.cycle_ends += 1;
+            if sys.traces_live() != self.live.len() {
+                self.live_mismatch = true;
+            }
+        }
+
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    fn run_with_sink(skip: bool) -> (crate::stats::SimStats, Recorder) {
+        let cfg = GpuConfig {
+            num_sms: 2,
+            warps_per_sm: 4,
+            ..GpuConfig::gtx480()
+        };
+        let mut sys = GpuSystem::new(
+            cfg,
+            |_| Box::new(IdealL1::new()),
+            |s, w| {
+                let base = (s as u64 * 64 + w as u64) << 20;
+                let v: Vec<WarpOp> = (0..6)
+                    .map(|i| WarpOp::Mem(MemOp::strided(0x20, false, base + i * 128, 4, 32)))
+                    .collect();
+                Box::new(StreamProgram::new(v)) as Box<dyn WarpProgram>
+            },
+        );
+        sys.set_cycle_skipping(skip);
+        sys.attach_check_sink(Box::new(Recorder::default()));
+        let stats = sys.run(1_000_000);
+        let sink = sys.detach_check_sink().expect("sink was attached");
+        let rec = sink
+            .as_any()
+            .downcast_ref::<Recorder>()
+            .expect("recorder")
+            .clone();
+        (stats, rec)
+    }
+
+    #[test]
+    fn every_tracked_request_retires_exactly_once() {
+        let (stats, rec) = run_with_sink(true);
+        assert!(rec.live.is_empty(), "all gids must retire");
+        assert!(
+            !rec.live_mismatch,
+            "sink live-set must track the trace slab"
+        );
+        let responds = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, CheckEvent::Respond { .. }))
+            .count() as u64;
+        assert_eq!(responds, stats.completed_reads);
+        assert!(rec.cycle_ends > 0 && rec.cycle_ends <= stats.cycles);
+    }
+
+    #[test]
+    fn sink_sees_identical_event_streams_on_both_engines() {
+        let (fast_stats, fast) = run_with_sink(true);
+        let (slow_stats, slow) = run_with_sink(false);
+        assert_eq!(fast_stats, slow_stats);
+        let strip = |r: &Recorder| -> Vec<CheckEvent> {
+            r.events
+                .iter()
+                .filter(|e| !matches!(e, CheckEvent::Skip { .. }))
+                .copied()
+                .collect()
+        };
+        assert_eq!(
+            strip(&fast),
+            strip(&slow),
+            "modulo Skip markers, both engines must emit the same stream"
+        );
+    }
+
+    #[test]
+    fn attaching_a_sink_does_not_perturb_stats() {
+        let run = |sink: bool| {
+            let cfg = GpuConfig {
+                num_sms: 1,
+                warps_per_sm: 2,
+                ..GpuConfig::gtx480()
+            };
+            let mut sys = GpuSystem::new(
+                cfg,
+                |_| Box::new(IdealL1::new()),
+                |_, w| {
+                    let v: Vec<WarpOp> = (0..4)
+                        .map(|i| {
+                            WarpOp::Mem(MemOp::strided(
+                                0x20,
+                                i % 2 == 1,
+                                ((w as u64) << 20) | (i * 128),
+                                4,
+                                32,
+                            ))
+                        })
+                        .collect();
+                    Box::new(StreamProgram::new(v)) as Box<dyn WarpProgram>
+                },
+            );
+            if sink {
+                sys.attach_check_sink(Box::new(Recorder::default()));
+            }
+            sys.run(1_000_000)
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

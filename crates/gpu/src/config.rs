@@ -129,6 +129,11 @@ impl GpuConfig {
             self.num_sms > 0 && self.warps_per_sm > 0,
             "need SMs and warps"
         );
+        assert!(
+            self.warps_per_sm <= u16::MAX as usize,
+            "warp indices are u16 throughout the engine (LSU slots, MSHR \
+             targets): more than 65535 warps per SM would alias"
+        );
         assert!(self.threads_per_warp == 32, "CUDA warps have 32 lanes");
         assert!(
             self.l2_banks.is_multiple_of(self.dram_channels),

@@ -1,0 +1,61 @@
+//! Checked narrowing conversions.
+//!
+//! The engine packs indices into narrow fields in several places — warp
+//! indices into `u16` LSU slots, slab slots into `u32` free lists, track
+//! ids into trace events. A bare `as` cast silently truncates when a
+//! configuration outgrows the field (e.g. `warps_per_sm > 65535` would
+//! alias warps); [`narrow`] makes every such site loudly checked instead,
+//! in release builds too — the check is a compare against a constant on a
+//! cold-ish path, and silent index aliasing is never an acceptable
+//! failure mode in a simulator that claims bitwise reproducibility.
+
+/// Converts `v` to `T`, panicking if the value does not fit.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_gpu::convert::narrow;
+/// let x: u16 = narrow(1234usize);
+/// assert_eq!(x, 1234);
+/// ```
+///
+/// ```should_panic
+/// use fuse_gpu::convert::narrow;
+/// let _: u16 = narrow(70_000usize); // lost bits: panics
+/// ```
+#[inline]
+#[track_caller]
+pub fn narrow<T, U>(v: U) -> T
+where
+    T: TryFrom<U>,
+    U: Copy + std::fmt::Display,
+{
+    match T::try_from(v) {
+        Ok(x) => x,
+        Err(_) => panic!(
+            "narrowing conversion lost bits: {v} does not fit in {}",
+            std::any::type_name::<T>()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_convert() {
+        let a: u32 = narrow(7usize);
+        assert_eq!(a, 7);
+        let b: u16 = narrow(u16::MAX as usize);
+        assert_eq!(b, u16::MAX);
+        let c: u32 = narrow(u64::from(u32::MAX));
+        assert_eq!(c, u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "lost bits")]
+    fn out_of_range_panics() {
+        let _: u16 = narrow(65_536usize);
+    }
+}

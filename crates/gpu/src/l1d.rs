@@ -123,6 +123,15 @@ pub trait L1dModel {
         0
     }
 
+    /// Appends the lines with an outstanding miss (one per MSHR entry) to
+    /// `out` — lockstep-checker introspection: a reference model replaying
+    /// the same access/fill stream must reconstruct exactly this set. The
+    /// default reports nothing, which a checker must treat as "model does
+    /// not expose its MSHR", not as "no misses outstanding".
+    fn outstanding_lines(&self, out: &mut Vec<LineAddr>) {
+        let _ = out;
+    }
+
     /// Abandons in-flight state, returning every pooled buffer (MSHR
     /// target lists, parked migrations, replay queues) to its pool. For
     /// a run a cycle cap stopped mid-flight: the fills will never
@@ -269,6 +278,10 @@ impl L1dModel for IdealL1 {
 
     fn outstanding_misses(&self) -> usize {
         self.mshr.occupancy()
+    }
+
+    fn outstanding_lines(&self, out: &mut Vec<LineAddr>) {
+        out.extend(self.mshr.iter_entries().map(|(line, _)| line));
     }
 
     fn reset_in_flight(&mut self) {

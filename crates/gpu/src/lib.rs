@@ -50,8 +50,10 @@
 //! assert!(stats.instructions > 0);
 //! ```
 
+pub mod check;
 pub mod coalesce;
 pub mod config;
+pub mod convert;
 pub mod icnt;
 pub mod l1d;
 pub mod l2;
@@ -61,6 +63,7 @@ pub mod stats;
 pub mod system;
 pub mod warp;
 
+pub use check::{CheckEvent, CheckSink};
 pub use config::GpuConfig;
 pub use l1d::{IdealL1, L1Access, L1Outcome, L1Response, L1dModel, OutgoingKind, OutgoingReq};
 pub use sm::SchedulerPolicy;

@@ -54,6 +54,14 @@ impl<T> Slab<T> {
 
     /// Stores `value` and returns its slot id (a recycled slot if one is
     /// free, else a fresh one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab would outgrow the `u32` free-list index space
+    /// (more than `u32::MAX` simultaneously live entries) — the same
+    /// hard-capacity discipline as [`ChainArena::alloc`]; without it,
+    /// [`Slab::remove`]'s free-list push would silently truncate the
+    /// slot id and alias two live requests.
     pub fn insert(&mut self, value: T) -> u64 {
         self.len += 1;
         if let Some(slot) = self.free.pop() {
@@ -62,6 +70,7 @@ impl<T> Slab<T> {
             self.slots[slot] = Some(value);
             slot as u64
         } else {
+            assert!(self.slots.len() <= u32::MAX as usize, "slab full");
             self.slots.push(Some(value));
             (self.slots.len() - 1) as u64
         }
@@ -81,7 +90,9 @@ impl<T> Slab<T> {
     pub fn remove(&mut self, id: u64) -> Option<T> {
         let value = self.slots.get_mut(id as usize).and_then(Option::take)?;
         self.len -= 1;
-        self.free.push(id as u32);
+        // In range: a live id is < slots.len(), which insert caps at
+        // u32::MAX + 1; the checked conversion keeps that proof local.
+        self.free.push(crate::convert::narrow(id));
         Some(value)
     }
 

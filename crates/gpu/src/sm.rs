@@ -31,6 +31,7 @@ pub enum SchedulerPolicy {
 }
 
 use crate::coalesce::{coalesce_into, LineSet};
+use crate::convert::narrow;
 use crate::l1d::{L1Access, L1Outcome, L1dModel, OutgoingReq};
 use crate::warp::{WarpOp, WarpProgram};
 use fuse_cache::line::LineAddr;
@@ -209,6 +210,25 @@ impl Sm {
         self.l1.outstanding_misses()
     }
 
+    /// Outstanding retirement obligations: one per unfinished warp plus
+    /// one per outstanding load and pending coalesced line. Checker
+    /// introspection — zero iff [`Sm::done`].
+    pub fn live_obligations(&self) -> u64 {
+        self.live
+    }
+
+    /// Warps currently blocked on outstanding loads (checker
+    /// introspection; drives the mem-stall classification).
+    pub fn waiting_warps(&self) -> usize {
+        self.waiting_warps
+    }
+
+    /// Whether a warp currently holds the LSU with un-replayed coalesced
+    /// lines (checker introspection).
+    pub fn lsu_held(&self) -> bool {
+        self.lsu_warp.is_some()
+    }
+
     /// Abandons the L1's in-flight state, returning its pooled buffers
     /// (see [`L1dModel::reset_in_flight`]). Does not make the SM
     /// resumable — for end-of-run pool accounting only.
@@ -370,7 +390,8 @@ impl Sm {
                             line: self.coalesce_buf.as_slice().first().map_or(0, |l| l.0),
                             kind: TraceKind::Coalesce,
                             track: sm_idx,
-                            aux: wi as u32 | ((self.coalesce_buf.len() as u32) << 16),
+                            aux: u32::from(narrow::<u16, _>(wi))
+                                | (u32::from(narrow::<u16, _>(self.coalesce_buf.len())) << 16),
                         });
                     }
                     self.live += self.coalesce_buf.len() as u64;
@@ -379,7 +400,7 @@ impl Sm {
                     for &line in self.coalesce_buf.as_slice() {
                         w.pending.push_back((line, op.is_store, op.pc));
                     }
-                    self.lsu_warp = Some(wi as u16);
+                    self.lsu_warp = Some(narrow(wi));
                     self.issue_pending(now, wi);
                     self.rr = (wi + 1) % n;
                     self.last_issued = wi;
@@ -409,7 +430,7 @@ impl Sm {
             let outcome = self.l1.access(
                 now,
                 L1Access {
-                    warp: wi as u16,
+                    warp: narrow(wi),
                     pc,
                     line,
                     is_store,

@@ -25,7 +25,9 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
+use crate::check::{CheckEvent, CheckSink};
 use crate::config::GpuConfig;
+use crate::convert::narrow;
 use crate::icnt::{Interconnect, Packet};
 use crate::l1d::{L1Response, L1dModel, OutgoingReq};
 use crate::l2::{L2Bank, L2Output};
@@ -89,6 +91,11 @@ pub struct GpuSystem {
     profiler: Option<Box<CycleProfiler>>,
     /// Opt-in packet-level event tracer (boxed for the same reason).
     tracer: Option<Box<TraceRing>>,
+    /// Opt-in lockstep check sink ([`crate::check`]): receives one event
+    /// per observable state transition plus a per-cycle callback. Like
+    /// the tracer, `None` costs one branch per site and touches no
+    /// statistic either way.
+    check: Option<Box<dyn CheckSink>>,
     // Scratch buffers recycled every cycle (steady-state zero allocation).
     outgoing_buf: Vec<OutgoingReq>,
     fill_buf: Vec<(usize, LineAddr)>,
@@ -123,7 +130,7 @@ impl GpuSystem {
         let sms = (0..cfg.num_sms)
             .map(|s| {
                 let programs = (0..cfg.warps_per_sm)
-                    .map(|w| program_factory(s, w as u16))
+                    .map(|w| program_factory(s, narrow(w)))
                     .collect();
                 let limit = cfg.active_warp_limit.unwrap_or(cfg.warps_per_sm);
                 let mut sm = Sm::with_warp_limit(l1_factory(s), programs, limit);
@@ -163,6 +170,7 @@ impl GpuSystem {
             completed_reads: 0,
             profiler: None,
             tracer: None,
+            check: None,
             outgoing_buf: Vec::new(),
             fill_buf: Vec::new(),
             deliver_buf: Vec::new(),
@@ -239,6 +247,60 @@ impl GpuSystem {
     /// Detaches the trace ring. `None` if tracing was never enabled.
     pub fn take_trace(&mut self) -> Option<TraceRing> {
         self.tracer.take().map(|b| *b)
+    }
+
+    /// Attaches a lockstep check sink ([`crate::check::CheckSink`]).
+    /// Replaces any sink already attached. The sink observes every
+    /// subsequent cycle until [`GpuSystem::detach_check_sink`].
+    pub fn attach_check_sink(&mut self, sink: Box<dyn CheckSink>) {
+        self.check = Some(sink);
+    }
+
+    /// Detaches and returns the check sink, if one was attached.
+    pub fn detach_check_sink(&mut self) -> Option<Box<dyn CheckSink>> {
+        self.check.take()
+    }
+
+    /// In-flight response-expecting reads (live trace-slab slots).
+    pub fn traces_live(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Outstanding DRAM reads (live dram-read-slab slots).
+    pub fn dram_reads_live(&self) -> usize {
+        self.dram_reads.len()
+    }
+
+    /// DRAM pushes deferred on full channels, summed over channels.
+    pub fn pending_dram_entries(&self) -> usize {
+        self.pending_dram_total
+    }
+
+    /// Read access to an L2 slice (checker introspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn l2_slice(&self, bank: usize) -> &L2Bank {
+        &self.l2[bank]
+    }
+
+    /// Read access to a DRAM channel (checker introspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn dram_channel(&self, channel: usize) -> &DramChannel {
+        &self.dram[channel]
+    }
+
+    /// Read access to an SM (checker introspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range.
+    pub fn sm(&self, sm: usize) -> &Sm {
+        &self.sms[sm]
     }
 
     /// Snapshot of the engine's monotonic counters, used by the profiler
@@ -389,6 +451,12 @@ impl GpuSystem {
     /// cycle skipping").
     fn advance_idle(&mut self, span: u64) {
         debug_assert!(span > 0, "empty skip");
+        if let Some(sink) = &mut self.check {
+            sink.event(CheckEvent::Skip {
+                from: self.cycle,
+                span,
+            });
+        }
         for sm in &mut self.sms {
             sm.advance_idle(span);
         }
@@ -435,6 +503,12 @@ impl GpuSystem {
             self.phase_dram(now);
             self.phase_respond(now);
         }
+        // The sink needs simultaneous access to itself (mut) and the
+        // system (shared): temporarily lift it out of the struct.
+        if let Some(mut sink) = self.check.take() {
+            sink.cycle_end(self, now);
+            self.check = Some(sink);
+        }
         self.cycle += 1;
     }
 
@@ -442,7 +516,7 @@ impl GpuSystem {
     /// point lives inside the SM's issue stage).
     fn phase_sms(&mut self, now: u64) {
         for (si, sm) in self.sms.iter_mut().enumerate() {
-            let tracer = self.tracer.as_deref_mut().map(|t| (t, si as u32));
+            let tracer = self.tracer.as_deref_mut().map(|t| (t, narrow(si)));
             sm.tick_traced(now, tracer);
         }
     }
@@ -479,8 +553,17 @@ impl GpuSystem {
                         } else {
                             TraceKind::WriteThrough
                         },
-                        track: si as u32,
-                        aux: bank as u32,
+                        track: narrow(si),
+                        aux: narrow(bank),
+                    });
+                }
+                if let Some(sink) = &mut self.check {
+                    sink.event(CheckEvent::Outgoing {
+                        sm: si,
+                        gid,
+                        line: req.line.0,
+                        kind: req.kind,
+                        at: now,
                     });
                 }
                 self.req_net.push(Packet {
@@ -500,6 +583,16 @@ impl GpuSystem {
         for p in deliver.drain(..) {
             if let Some(tr) = self.traces.get_mut(p.gid) {
                 tr.t_l2_in = now;
+            }
+            if let Some(sink) = &mut self.check {
+                sink.event(CheckEvent::ReqDeliver {
+                    gid: p.gid,
+                    sm: p.sm,
+                    bank: p.bank,
+                    line: p.line.0,
+                    kind: p.kind,
+                    at: now,
+                });
             }
             self.l2[p.bank].enqueue(p, now);
         }
@@ -553,8 +646,19 @@ impl GpuSystem {
                             dur: now.saturating_sub(queued),
                             line: line.0,
                             kind: TraceKind::SpanDram,
-                            track: ci as u32,
-                            aux: bank as u32,
+                            track: narrow(ci),
+                            aux: narrow(bank),
+                        });
+                    }
+                    if let Some(sink) = &mut self.check {
+                        sink.event(CheckEvent::DramFill {
+                            channel: ci,
+                            bank,
+                            line: line.0,
+                            queued_at: queued,
+                            finished_at: done.finished_at,
+                            row_hit: done.row_hit,
+                            at: now,
                         });
                     }
                     self.fill_buf.push((bank, line));
@@ -584,13 +688,13 @@ impl GpuSystem {
             self.mem_residency += tr.t_l2_out.saturating_sub(tr.t_l2_in);
             self.completed_reads += 1;
             if let Some(ring) = &mut self.tracer {
-                let gid = p.gid as u32;
+                let gid = narrow(p.gid);
                 ring.record(TraceEvent {
                     t: tr.t_inject,
                     dur: tr.t_l2_in.saturating_sub(tr.t_inject),
                     line: p.line.0,
                     kind: TraceKind::SpanNetReq,
-                    track: tr.sm as u32,
+                    track: narrow(tr.sm),
                     aux: gid,
                 });
                 ring.record(TraceEvent {
@@ -598,7 +702,7 @@ impl GpuSystem {
                     dur: tr.t_l2_out.saturating_sub(tr.t_l2_in),
                     line: p.line.0,
                     kind: TraceKind::SpanL2Dram,
-                    track: p.bank as u32,
+                    track: narrow(p.bank),
                     aux: gid,
                 });
                 ring.record(TraceEvent {
@@ -606,8 +710,16 @@ impl GpuSystem {
                     dur: now.saturating_sub(tr.t_l2_out),
                     line: p.line.0,
                     kind: TraceKind::SpanNetRsp,
-                    track: tr.sm as u32,
+                    track: narrow(tr.sm),
                     aux: gid,
+                });
+            }
+            if let Some(sink) = &mut self.check {
+                sink.event(CheckEvent::Respond {
+                    gid: p.gid,
+                    sm: tr.sm,
+                    line: p.line.0,
+                    at: now,
                 });
             }
             self.sms[tr.sm].push_response(
@@ -627,6 +739,14 @@ impl GpuSystem {
         for p in out.responses.drain(..) {
             if let Some(tr) = self.traces.get_mut(p.gid) {
                 tr.t_l2_out = now;
+            }
+            if let Some(sink) = &mut self.check {
+                sink.event(CheckEvent::L2Response {
+                    gid: p.gid,
+                    bank,
+                    line: p.line.0,
+                    at: now,
+                });
             }
             self.rsp_net.push(Packet {
                 flits: Packet::RESPONSE_FLITS,
@@ -664,8 +784,17 @@ impl GpuSystem {
                 } else {
                     TraceKind::DramWrite
                 },
-                track: channel as u32,
-                aux: bank as u32,
+                track: narrow(channel),
+                aux: narrow(bank),
+            });
+        }
+        if let Some(sink) = &mut self.check {
+            sink.event(CheckEvent::DramQueued {
+                channel,
+                bank,
+                line: line.0,
+                is_read,
+                at: now,
             });
         }
         // Channel-local address keeps row-buffer locality for streams.
@@ -789,7 +918,7 @@ impl GpuSystem {
             net_residency: self.net_residency,
             mem_residency: self.mem_residency,
             completed_reads: self.completed_reads,
-            num_sms: self.cfg.num_sms as u32,
+            num_sms: narrow(self.cfg.num_sms),
         }
     }
 }
@@ -1022,6 +1151,116 @@ mod tests {
             .map(|w| w.counters.issue_cycles)
             .sum();
         assert_eq!(issue, plain.sm.issue_cycles, "deltas must sum to the total");
+    }
+
+    #[test]
+    fn profiler_windows_tile_exactly_at_every_alignment() {
+        // Boundary-clamp audit: degenerate windows (1), sampling-period
+        // multiples (64), and windows larger than the whole run must all
+        // tile [0, cycles) with no zero-length, oversized, or overlapping
+        // window — on both engines, where skip targets are clamped to
+        // window boundaries.
+        for window in [1u64, 64, 4096, 1 << 20] {
+            for skip in [true, false] {
+                let mut sys = GpuSystem::new(
+                    small_cfg(),
+                    |_| Box::new(IdealL1::new()),
+                    |s, w| streaming_program(s, w, 10),
+                );
+                sys.set_cycle_skipping(skip);
+                sys.enable_profiler(window);
+                let stats = sys.run(1_000_000);
+                let report = sys.take_profile().expect("profiler was on");
+                let samples = &report.series.samples;
+                let covered: u64 = samples.iter().map(|s| s.len).sum();
+                assert_eq!(covered, stats.cycles, "window={window} skip={skip}");
+                let expected = stats.cycles.div_ceil(window);
+                assert_eq!(
+                    samples.len() as u64,
+                    expected,
+                    "window={window} skip={skip}: wrong window count"
+                );
+                let mut start = 0;
+                for (i, s) in samples.iter().enumerate() {
+                    assert_eq!(s.start, start, "window {i} misaligned");
+                    assert!(s.len > 0, "window {i} is empty");
+                    assert!(s.len <= window, "window {i} overflows");
+                    let is_last = i + 1 == samples.len();
+                    assert!(
+                        is_last || s.len == window,
+                        "only the final window may be partial"
+                    );
+                    start += s.len;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_length_landing_exactly_on_a_boundary_yields_one_window() {
+        // The sharpest boundary edge: the run draining exactly at a window
+        // boundary. window == cycles must produce exactly one full window
+        // (not a full one plus an empty one); window == cycles - 1 must
+        // produce a full window and a 1-cycle partial; window == cycles + 1
+        // one partial window. Both engines must agree on the series.
+        let total = {
+            let mut sys = GpuSystem::new(
+                small_cfg(),
+                |_| Box::new(IdealL1::new()),
+                |s, w| streaming_program(s, w, 10),
+            );
+            sys.run(1_000_000).cycles
+        };
+        assert!(total > 2, "run long enough to probe boundaries");
+        let run = |window: u64, skip: bool| {
+            let mut sys = GpuSystem::new(
+                small_cfg(),
+                |_| Box::new(IdealL1::new()),
+                |s, w| streaming_program(s, w, 10),
+            );
+            sys.set_cycle_skipping(skip);
+            sys.enable_profiler(window);
+            let stats = sys.run(1_000_000);
+            assert_eq!(stats.cycles, total, "profiler must not change the run");
+            sys.take_profile().expect("profiler was on")
+        };
+        for skip in [true, false] {
+            let exact = run(total, skip);
+            let lens: Vec<u64> = exact.series.samples.iter().map(|s| s.len).collect();
+            assert_eq!(lens, vec![total], "skip={skip}: exactly one full window");
+
+            let minus = run(total - 1, skip);
+            let lens: Vec<u64> = minus.series.samples.iter().map(|s| s.len).collect();
+            assert_eq!(lens, vec![total - 1, 1], "skip={skip}");
+
+            let plus = run(total + 1, skip);
+            let lens: Vec<u64> = plus.series.samples.iter().map(|s| s.len).collect();
+            assert_eq!(lens, vec![total], "skip={skip}: one partial window");
+        }
+        // And the windowed series itself is engine-independent at the
+        // exact-boundary alignment.
+        assert_eq!(run(total, true).series, run(total, false).series);
+    }
+
+    #[test]
+    fn capped_run_with_boundary_aligned_cap_closes_windows_once() {
+        // Cap the run mid-flight with the cap sitting exactly on a window
+        // boundary: the profiler must report cap/window full windows, no
+        // trailing empty one, on both engines.
+        for skip in [true, false] {
+            let mut sys = GpuSystem::new(
+                small_cfg(),
+                |_| Box::new(IdealL1::new()),
+                |s, w| streaming_program(s, w, 100),
+            );
+            sys.set_cycle_skipping(skip);
+            sys.enable_profiler(100);
+            let stats = sys.run(500);
+            assert_eq!(stats.cycles, 500);
+            let report = sys.take_profile().expect("profiler was on");
+            let lens: Vec<u64> = report.series.samples.iter().map(|s| s.len).collect();
+            assert_eq!(lens, vec![100; 5], "skip={skip}");
+        }
     }
 
     #[test]

@@ -65,8 +65,59 @@ impl Default for DramTiming {
 }
 
 impl DramTiming {
+    /// Converts DRAM-clock cycles to SM cycles. Widens before multiplying
+    /// so large configured timings cannot wrap `u32` silently.
     fn sm(&self, dram_cycles: u32) -> u64 {
-        (dram_cycles * self.clock_ratio) as u64
+        dram_cycles as u64 * self.clock_ratio as u64
+    }
+
+    /// SM cycles the shared data bus is held per access (the burst phase).
+    /// No two accesses on one channel may finish closer together than this.
+    pub fn burst_sm(&self) -> u64 {
+        self.sm(self.burst)
+    }
+
+    /// Declarative legality rule: the minimum SM cycles between a request
+    /// arriving at the channel and its data leaving the pins. A row hit
+    /// pays at least `tCL + burst`; anything else pays at least
+    /// `tRCD + tCL + burst` (a conflict additionally pays `tRP`, but a
+    /// completion alone cannot distinguish conflict from cold miss, so
+    /// this is the sound lower bound for every `row_hit = false` access).
+    pub fn min_read_latency_sm(&self, row_hit: bool) -> u64 {
+        if row_hit {
+            self.sm(self.t_cl) + self.burst_sm()
+        } else {
+            self.sm(self.t_rcd) + self.sm(self.t_cl) + self.burst_sm()
+        }
+    }
+
+    /// Declarative legality rule: minimum SM cycles between two
+    /// consecutive completions on the *same bank* when the later one
+    /// missed the open row (precharge + activate + CAS + burst). The
+    /// earlier access left the bank busy until its own data cycle, so the
+    /// conflicting follow-up cannot finish sooner than this after it.
+    pub fn min_conflict_gap_sm(&self) -> u64 {
+        self.sm(self.t_rp) + self.sm(self.t_rcd) + self.sm(self.t_cl) + self.burst_sm()
+    }
+
+    /// Declarative legality rule (tRAS): once an access opens a row, a
+    /// later access that closes it cannot deliver data sooner than
+    /// `tRAS + tRP + tRCD + tCL + burst` SM cycles after the *arrival* of
+    /// the opener (the row must stay active `tRAS` before precharge).
+    pub fn min_open_to_conflict_data_sm(&self) -> u64 {
+        self.sm(self.t_ras) + self.min_conflict_gap_sm()
+    }
+
+    /// The bank a channel-local line address maps to (rows round-robin
+    /// across banks). Exported so a checker can reconstruct bank state
+    /// from the address stream alone.
+    pub fn bank_of(&self, line: u64) -> usize {
+        (self.row_of(line) as usize) % self.banks
+    }
+
+    /// The DRAM row a channel-local line address falls in.
+    pub fn row_of(&self, line: u64) -> u64 {
+        line / self.lines_per_row
     }
 }
 
@@ -209,6 +260,13 @@ impl DramChannel {
         self.stats
     }
 
+    /// The timing parameters this channel services requests under
+    /// (checker introspection: the legality lower bounds derive from
+    /// these).
+    pub fn timing(&self) -> &DramTiming {
+        &self.timing
+    }
+
     /// Drops every queued and in-service request (capacity is retained;
     /// bank timing state and statistics already accrued are kept).
     pub fn reset_in_flight(&mut self) {
@@ -217,9 +275,7 @@ impl DramChannel {
     }
 
     fn bank_and_row(&self, line: u64) -> (usize, u64) {
-        let row = line / self.timing.lines_per_row;
-        let bank = (row as usize) % self.timing.banks;
-        (bank, row)
+        (self.timing.bank_of(line), self.timing.row_of(line))
     }
 
     /// Advances the channel to SM cycle `now`, scheduling at most one new
@@ -566,6 +622,65 @@ mod tests {
             now += 1;
         }
         assert_eq!(done.len(), 3);
+    }
+
+    #[test]
+    fn exported_legality_bounds_match_the_service_math() {
+        let t = DramTiming::default();
+        // Defaults: tCL/tRCD/tRAS/tRP = 12/12/28/12, burst 4, ratio 2.
+        assert_eq!(t.burst_sm(), 8);
+        assert_eq!(t.min_read_latency_sm(true), (12 + 4) * 2);
+        assert_eq!(t.min_read_latency_sm(false), (12 + 12 + 4) * 2);
+        assert_eq!(t.min_conflict_gap_sm(), (12 + 12 + 12 + 4) * 2);
+        assert_eq!(
+            t.min_open_to_conflict_data_sm(),
+            (28 + 12 + 12 + 12 + 4) * 2
+        );
+        assert_eq!(t.bank_of(0), 0);
+        assert_eq!(t.bank_of(16), 1, "next row, next bank");
+        assert_eq!(t.row_of(31), 1);
+    }
+
+    #[test]
+    fn sm_scaling_is_widening() {
+        // u32 * u32 would wrap here; the exported bounds must not.
+        let t = DramTiming {
+            t_cl: u32::MAX,
+            clock_ratio: 4,
+            ..DramTiming::default()
+        };
+        assert!(t.min_read_latency_sm(true) > u32::MAX as u64);
+    }
+
+    #[test]
+    fn every_completion_respects_the_declared_lower_bounds() {
+        let t = DramTiming::default();
+        let mut ch = DramChannel::new(t);
+        // A mix of hits, conflicts and bank-parallel streams.
+        for i in 0..24u64 {
+            ch.try_push(DramRequest {
+                id: i,
+                line: (i * 7) % 64,
+                is_write: i % 5 == 0,
+                arrival: 0,
+            });
+        }
+        let done = drain(&mut ch, 10_000);
+        assert_eq!(done.len(), 24);
+        for c in &done {
+            assert!(
+                c.finished_at >= t.min_read_latency_sm(c.row_hit),
+                "completion {} beat the declared minimum",
+                c.id
+            );
+        }
+        // Bus serialisation: completions on one channel are at least one
+        // burst apart.
+        let mut finishes: Vec<u64> = done.iter().map(|c| c.finished_at).collect();
+        finishes.sort_unstable();
+        for w in finishes.windows(2) {
+            assert!(w[1] >= w[0] + t.burst_sm(), "bursts overlapped on the bus");
+        }
     }
 
     #[test]

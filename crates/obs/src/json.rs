@@ -25,6 +25,39 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Formats `v` as a fixed-precision JSON number with `prec` fractional
+/// digits.
+///
+/// `format!("{:.p$}")` is already platform-independent (unlike
+/// shortest-repr `{}` formatting), but it can still emit `-0.000` when a
+/// tiny negative rounds to zero, and `NaN`/`inf` are not JSON at all.
+/// Both would break byte-stable digests, so negative zero is normalised
+/// and non-finite values clamp to 0.
+///
+/// The output always re-parses (see the round-trip property test): for
+/// finite `v` the parsed value sits within half a unit of the emitted
+/// precision, i.e. `|parsed - v| <= 0.5 * 10^-prec` up to f64 rounding.
+///
+/// # Examples
+///
+/// ```
+/// use fuse_obs::json::format_f64;
+/// assert_eq!(format_f64(2.0 / 3.0, 4), "0.6667");
+/// assert_eq!(format_f64(-0.0001, 2), "0.00"); // no negative zero
+/// assert_eq!(format_f64(f64::NAN, 1), "0.0"); // non-finite clamps
+/// ```
+pub fn format_f64(v: f64, prec: usize) -> String {
+    if !v.is_finite() {
+        return format!("{:.prec$}", 0.0);
+    }
+    let s = format!("{v:.prec$}");
+    if s.bytes().all(|b| matches!(b, b'-' | b'0' | b'.')) && s.starts_with('-') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
 /// Validates that `s` is one syntactically well-formed JSON value.
 ///
 /// # Errors
@@ -246,6 +279,99 @@ mod tests {
             "\"bad \\q escape\"",
         ] {
             assert!(validate(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    /// SplitMix64 (Steele et al.): enough statistical quality to sweep the
+    /// float space without adding a dependency to this leaf crate.
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Checks one (value, precision) pair: the emitted string must be
+    /// valid JSON, re-parse with `str::parse::<f64>`, and land within
+    /// half a unit of the emitted precision of the original (plus one
+    /// part in 1e15 of relative slack for the decimal-to-binary rounding
+    /// of the parse itself).
+    fn assert_round_trips(v: f64, prec: usize) {
+        let s = format_f64(v, prec);
+        validate(&s).unwrap_or_else(|e| panic!("format_f64({v}, {prec}) -> {s:?} invalid: {e}"));
+        let parsed: f64 = s
+            .parse()
+            .unwrap_or_else(|e| panic!("format_f64({v}, {prec}) -> {s:?} unparseable: {e}"));
+        let expect = if v.is_finite() { v } else { 0.0 };
+        let tol = 0.5 * 10f64.powi(-(prec as i32)) + expect.abs() * 1e-15;
+        assert!(
+            (parsed - expect).abs() <= tol,
+            "format_f64({v}, {prec}) -> {s:?} parses to {parsed}, off by {} (tol {tol})",
+            (parsed - expect).abs()
+        );
+        assert!(
+            !s.starts_with('-') || parsed != 0.0,
+            "negative zero leaked: format_f64({v}, {prec}) -> {s:?}"
+        );
+    }
+
+    #[test]
+    fn format_f64_round_trips_across_the_float_space() {
+        let mut rng = SplitMix64(0x5EED_F064);
+        for _ in 0..4000 {
+            // Mix magnitudes: uniform fractions, scaled metrics (IPC,
+            // cycles/sec), and wide exponents from raw bit patterns.
+            let v = match rng.next() % 3 {
+                0 => (rng.next() as f64 / u64::MAX as f64) * 2.0 - 1.0,
+                1 => (rng.next() % 1_000_000_000) as f64 / 1e3,
+                _ => {
+                    let x = f64::from_bits(rng.next());
+                    if x.is_finite() && x.abs() < 1e15 {
+                        x
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            for prec in [0, 1, 3, 4, 6] {
+                assert_round_trips(v, prec);
+            }
+        }
+    }
+
+    #[test]
+    fn format_f64_round_trips_at_precision_boundaries() {
+        // Values sitting exactly on (or next to) a rounding boundary of
+        // the emitted precision, where `{:.p$}` ties away/to-even and the
+        // re-parse must still land within half a final-digit unit.
+        for v in [
+            0.0005,
+            -0.0005,
+            0.0015,
+            0.5,
+            -0.5,
+            1.5,
+            2.5,
+            0.9999999999,
+            -0.9999999999,
+            5e-324, // smallest subnormal: rounds clean to 0
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            1e300, // huge but finite: long integral part
+            -1e300,
+            f64::NAN, // clamps to 0
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            for prec in [0, 1, 3, 6] {
+                assert_round_trips(v, prec);
+            }
         }
     }
 

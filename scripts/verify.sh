@@ -34,4 +34,10 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
+# Differential smoke: run the skip and tick engines in lockstep under the
+# fuse-check reference-model oracle over the full workload grid plus a
+# short fixed fuzz sweep. Exits non-zero on any divergence (DESIGN.md §3f).
+echo "==> fusesim check (oracle lockstep grid + fuzz smoke)"
+./target/release/fusesim check --seeds 16 --quiet
+
 echo "verify: OK"

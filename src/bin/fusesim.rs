@@ -30,6 +30,10 @@ USAGE:
     fusesim run [OPTIONS]                run one (workload, config) pair
     fusesim compare [OPTIONS]            run every L1 configuration on one workload
     fusesim sweep [OPTIONS]              run a (workloads x configs) grid in parallel
+    fusesim check [OPTIONS]              differential-test the engine against the
+                                         fuse-check reference-model oracle (lockstep
+                                         grid + seeded fuzzing; exits non-zero on any
+                                         divergence)
 
 OPTIONS:
     --workload <NAME>    workload name from Table II (default: ATAX)
@@ -49,6 +53,11 @@ OPTIONS:
                          are overwritten once full)
     --no-skip            disable event-driven cycle skipping (slow tick
                          engine; statistics are bitwise identical)
+    --seeds <N>          fuzz seeds to run (check; default 64; 0 skips fuzzing)
+    --seed-base <N>      first fuzz seed (check; default 0)
+    --skip-grid          skip the workload-grid lockstep pass (check)
+    --repro-dir <PATH>   where minimized repros of fuzz failures are written
+                         (check; default tests/repros)
     --volta              use the Fig. 19 Volta-class machine
     --scale <F>          instruction-budget multiplier (default 1.0)
     --quiet              print only the one-line summary
@@ -72,6 +81,10 @@ struct Args {
     volta: bool,
     scale: f64,
     quiet: bool,
+    seeds: u64,
+    seed_base: u64,
+    skip_grid: bool,
+    repro_dir: String,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -93,6 +106,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         volta: false,
         scale: 1.0,
         quiet: false,
+        seeds: 64,
+        seed_base: 0,
+        skip_grid: false,
+        repro_dir: "tests/repros".to_string(),
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -143,6 +160,18 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     return Err("--trace-capacity must be at least 1".to_string());
                 }
                 args.trace_capacity = Some(n);
+            }
+            "--seeds" => {
+                let v = argv.next().ok_or("--seeds needs a value")?;
+                args.seeds = v.parse().map_err(|_| format!("bad seed count {v:?}"))?;
+            }
+            "--seed-base" => {
+                let v = argv.next().ok_or("--seed-base needs a value")?;
+                args.seed_base = v.parse().map_err(|_| format!("bad seed base {v:?}"))?;
+            }
+            "--skip-grid" => args.skip_grid = true,
+            "--repro-dir" => {
+                args.repro_dir = argv.next().ok_or("--repro-dir needs a value")?;
             }
             "--no-skip" => args.no_skip = true,
             "--volta" => args.volta = true,
@@ -408,6 +437,92 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Differential verification: a lockstep pass over the workload grid,
+/// then seeded fuzzing over adversarial small machines. Any divergence
+/// is minimized with the shrinker, written as a `.repro`, and fails the
+/// command.
+fn cmd_check(args: &Args) -> Result<(), String> {
+    use fuse::check::{repro, run_case, shrink, FuzzSpec};
+
+    let mut failures = 0usize;
+
+    if !args.skip_grid {
+        let rc = RunConfig {
+            ops_scale: RunConfig::smoke().ops_scale * args.scale,
+            ..RunConfig::smoke()
+        };
+        let presets = [L1Preset::L1Sram, L1Preset::DyFuse];
+        let workloads = all_workloads();
+        println!(
+            "lockstep grid: {} workloads x {} presets, both engines, oracle attached",
+            workloads.len(),
+            presets.len()
+        );
+        for w in &workloads {
+            for preset in presets {
+                let report = fuse::runner::lockstep_workload(w, preset, &rc);
+                if report.ok() {
+                    if !args.quiet {
+                        println!(
+                            "  ok   {:<8} {:<8} ({} events)",
+                            w.name,
+                            preset.name(),
+                            report.events_compared
+                        );
+                    }
+                } else {
+                    failures += 1;
+                    println!("  FAIL {:<8} {:<8}", w.name, preset.name());
+                    for v in &report.violations {
+                        println!("       {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    if args.seeds > 0 {
+        println!(
+            "fuzz: {} seeds starting at {}, adversarial machines, both engines",
+            args.seeds, args.seed_base
+        );
+        for seed in args.seed_base..args.seed_base + args.seeds {
+            let spec = FuzzSpec::from_seed(seed);
+            let report = run_case(&spec);
+            if report.ok() {
+                if !args.quiet {
+                    println!("  ok   seed {seed} ({} events)", report.events_compared);
+                }
+                continue;
+            }
+            failures += 1;
+            println!("  FAIL seed {seed}: {}", report.violations[0]);
+            let minimal = shrink(&spec, |s| !run_case(s).ok(), 200);
+            let reason = run_case(&minimal)
+                .violations
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "shrunk case no longer fails (flaky?)".to_string());
+            let text = repro::to_text(&minimal, Some(&reason));
+            std::fs::create_dir_all(&args.repro_dir)
+                .map_err(|e| format!("creating {}: {e}", args.repro_dir))?;
+            let path = format!("{}/fuzz-seed-{seed}.repro", args.repro_dir);
+            std::fs::write(&path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("       minimized repro written to {path}:");
+            for line in text.lines() {
+                println!("       {line}");
+            }
+        }
+    }
+
+    if failures > 0 {
+        Err(format!("{failures} divergence(s) found"))
+    } else {
+        println!("all checks passed: zero divergences");
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -424,6 +539,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
         "sweep" => cmd_sweep(&args),
+        "check" => cmd_check(&args),
         _ => {
             println!("{USAGE}");
             Ok(())

@@ -19,7 +19,9 @@
 //! * [`core`] ([`fuse_core`]) — the FUSE L1D controller and all of Table
 //!   I's L1D configurations;
 //! * [`workloads`] ([`fuse_workloads`]) — the 21 calibrated synthetic
-//!   benchmarks of Table II.
+//!   benchmarks of Table II;
+//! * [`check`] ([`fuse_check`]) — the lockstep reference-model oracle,
+//!   differential fuzzer and trace shrinker behind `fusesim check`.
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@
 //! ```
 
 pub use fuse_cache as cache;
+pub use fuse_check as check;
 pub use fuse_core as core;
 pub use fuse_gpu as gpu;
 pub use fuse_mem as mem;
@@ -49,5 +52,5 @@ pub use fuse_workloads as workloads;
 pub mod runner;
 pub mod sweep;
 
-pub use runner::{geomean, run_l1_config, run_workload, RunConfig, RunResult};
+pub use runner::{geomean, lockstep_workload, run_l1_config, run_workload, RunConfig, RunResult};
 pub use sweep::{SweepCell, SweepConfig, SweepPlan, SweepReport};

@@ -234,6 +234,29 @@ pub fn run_l1_config(
     collect(spec.name, config_name, &mut sys, sim, banks)
 }
 
+/// Lockstep-verifies `spec` on `preset` under `rc`'s machine and budget:
+/// both engines run with the `fuse-check` reference-model oracle
+/// attached, and the report carries every divergence (oracle violations,
+/// statistic mismatches, event-stream diffs). `rc.skip` is ignored —
+/// lockstep always runs both engines.
+///
+/// # Examples
+///
+/// ```
+/// use fuse::runner::{lockstep_workload, RunConfig};
+/// use fuse::core::config::L1Preset;
+/// let w = fuse::workloads::by_name("pathf").unwrap();
+/// let report = lockstep_workload(&w, L1Preset::L1Sram, &RunConfig::smoke());
+/// assert!(report.ok(), "{:?}", report.violations);
+/// ```
+pub fn lockstep_workload(
+    spec: &WorkloadSpec,
+    preset: L1Preset,
+    rc: &RunConfig,
+) -> fuse_check::LockstepReport {
+    fuse_check::lockstep::check_workload(spec, preset, &rc.gpu, rc.ops_for(spec), rc.max_cycles)
+}
+
 /// Geometric mean (the paper's GMEANS column). Ignores non-positive
 /// entries; returns 0 for an empty slice.
 pub fn geomean(xs: &[f64]) -> f64 {

@@ -496,21 +496,12 @@ impl SweepReport {
     }
 }
 
-/// Fixed-precision float for JSON digests. `format!("{:.p$}")` is already
-/// platform-independent (unlike shortest-repr `{}` formatting), but it
-/// can still emit `-0.000` when a tiny negative rounds to zero, and
-/// `NaN`/`inf` are not JSON at all. Both would break byte-stable digests,
-/// so negative zero is normalised and non-finite values clamp to 0.
+/// Fixed-precision float for JSON digests: negative zero is normalised
+/// and non-finite values clamp to 0 so digests stay byte-stable. The
+/// shared implementation (and its round-trip property tests) live in
+/// [`fuse_obs::json::format_f64`].
 fn json_f64(v: f64, prec: usize) -> String {
-    if !v.is_finite() {
-        return format!("{:.prec$}", 0.0);
-    }
-    let s = format!("{v:.prec$}");
-    if s.bytes().all(|b| matches!(b, b'-' | b'0' | b'.')) && s.starts_with('-') {
-        s[1..].to_string()
-    } else {
-        s
-    }
+    fuse_obs::json::format_f64(v, prec)
 }
 
 fn json_str(s: &str) -> String {
