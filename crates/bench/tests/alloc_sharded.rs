@@ -1,0 +1,60 @@
+//! Zero-allocation regression gate for the *sharded* steady-state loop.
+//!
+//! DESIGN.md §3g extends the §3d contract to the sharded engine: once a
+//! persistent [`fuse::gpu::sharded::ShardedEngine`] is warmed up — every
+//! per-shard mailbox, gather buffer and reply slot grown to its
+//! high-water mark, the shared stage's recycled buffers saturated — a
+//! simulated cycle performs **zero** heap operations on the coordinator
+//! and on every shard worker. The counting allocator's counters are
+//! process-wide, so a zero delta covers all threads at once.
+//!
+//! The file deliberately contains a single `#[test]`: the counters are
+//! process-wide and libtest runs tests in one binary concurrently, so a
+//! second test here would bleed its allocations into the window.
+
+use fuse::core::config::L1Preset;
+use fuse::gpu::sharded::ShardConfig;
+use fuse_bench::alloc::{self, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Same warmup rationale as `tests/alloc_budget.rs`, plus slack for the
+/// sharded engine's own buffers (mailboxes, gathers, reply slots) to
+/// reach their high-water marks through a few `mem::swap` rotations.
+const WARMUP_CYCLES: u64 = 500_000;
+
+/// Cycles measured under the zero-allocation contract.
+const MEASURE_CYCLES: u64 = 100_000;
+
+#[test]
+fn sharded_steady_state_performs_zero_allocations() {
+    assert!(
+        alloc::allocations() > 0,
+        "the counting allocator must be installed (test setup allocates)"
+    );
+    let modes = [
+        ("strict", ShardConfig::strict(2)),
+        ("relaxed", ShardConfig::relaxed(2, 1024)),
+    ];
+    for preset in [L1Preset::L1Sram, L1Preset::DyFuse] {
+        for (mode, cfg) in &modes {
+            let (allocs, cycles) =
+                alloc::steady_state_delta_sharded(preset, WARMUP_CYCLES, MEASURE_CYCLES, cfg);
+            assert_eq!(
+                cycles,
+                MEASURE_CYCLES,
+                "{} / {mode}: the never-retiring workload must fill the window",
+                preset.name()
+            );
+            assert_eq!(
+                allocs,
+                0,
+                "{} / {mode}: {allocs} heap operations in {cycles} sharded \
+                 steady-state cycles — a coordinator or shard worker has an \
+                 allocation regression (DESIGN.md §3g)",
+                preset.name()
+            );
+        }
+    }
+}

@@ -86,7 +86,12 @@ pub struct L1Response {
 }
 
 /// The interface every L1D configuration implements.
-pub trait L1dModel {
+///
+/// `Send` is a supertrait so an [`crate::sm::Sm`] (which owns its L1 as a
+/// `Box<dyn L1dModel>`) can migrate to a shard worker thread — see
+/// [`crate::sharded`]. Models hold only owned state, so in practice this
+/// costs implementors nothing.
+pub trait L1dModel: Send {
     /// One warp line-request. Called at most a few times per cycle (the
     /// coalesced lines of the instruction the SM issued).
     fn access(&mut self, now: u64, acc: L1Access) -> L1Outcome;

@@ -1,0 +1,859 @@
+//! Intra-simulation sharding: one simulation spread across cores.
+//!
+//! [`ShardedEngine`] partitions the SMs (with their private L1Ds) of a
+//! single [`GpuSystem`] into contiguous per-worker shards, each owned by a
+//! dedicated thread, while the shared memory side — interconnect, L2
+//! slices, DRAM channels — stays with the coordinating thread along with
+//! the trace slabs and any attached check sink. Workers and coordinator
+//! exchange request/response packets through per-shard mailbox ports
+//! drained at epoch boundaries. Two modes (DESIGN.md §3g):
+//!
+//! * **Strict** ([`ShardMode::Strict`]): the epoch is one shared-stage
+//!   cycle. Every SM-side operation happens in the same order, at the
+//!   same cycle, as the serial engine, and requests are replayed into the
+//!   interconnect in global SM order, so [`SimStats`] is **bitwise
+//!   identical** to [`GpuSystem::run`] (pinned by
+//!   `tests/sharded_equivalence.rs` and the skip-equivalence digests).
+//!   The only concession is the skip coordination: the coordinator skips
+//!   on the workers' *pre-response* event horizons and forces a tick on
+//!   any cycle that delivered responses. Forced ticks are dead ticks, and
+//!   the engine-equivalence invariant from the skip engine (a dead tick
+//!   accrues exactly what `advance_idle` bulk-credits) makes them
+//!   stats-neutral.
+//!
+//! * **Relaxed** ([`ShardMode::Relaxed`]): the epoch is a configurable
+//!   window of `epoch_cycles`. Workers simulate a whole window between
+//!   barriers, recording each outgoing request with the cycle it left the
+//!   L1; the coordinator then replays the memory side over the same
+//!   window with requests injected at their recorded cycles. Fills
+//!   completing inside a window are delivered at the *next* epoch
+//!   boundary (never backdated), so L1 fill latency is inflated by up to
+//!   one window and the stats are close-but-not-bitwise. Because bitwise
+//!   diffing is off the table, relaxed runs are audited by the fuse-check
+//!   oracle instead: every legality and conservation invariant (latency
+//!   floors, DRAM timing, request/fill balance) must still hold exactly.
+//!
+//! The coordinator keeps the check sink, so an attached oracle observes a
+//! sharded run exactly as it observes a serial one. The profiler and
+//! tracer are **not** supported under sharding (they observe SM-side
+//! trace points from the engine thread); [`ShardedEngine::new`] refuses
+//! to start with either enabled.
+//!
+//! Steady-state allocation: all mailbox traffic moves through
+//! `std::mem::swap`ed `Vec` pairs whose capacities persist on both sides
+//! of each port, so once warmed up a sharded run allocates nothing per
+//! cycle on any thread (pinned by `crates/bench/tests/alloc_sharded.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::l1d::{L1Response, OutgoingReq};
+use crate::sm::Sm;
+use crate::stats::SimStats;
+use crate::system::GpuSystem;
+
+/// How shard workers synchronize with the shared memory stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Epoch = one shared-stage cycle; bitwise-identical statistics.
+    Strict,
+    /// Epoch = `epoch_cycles` SM cycles between barriers; fills are
+    /// delivered at epoch boundaries, trading up to one window of extra
+    /// L1 fill latency for fewer synchronizations. Audited by the
+    /// fuse-check oracle rather than bitwise stats diffs.
+    Relaxed {
+        /// Cycles per epoch window (must be ≥ 1).
+        epoch_cycles: u64,
+    },
+}
+
+/// Shard count and synchronization mode for a sharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of worker shards. SMs are split into `shards` contiguous
+    /// groups, sized as evenly as possible.
+    pub shards: usize,
+    /// Synchronization mode.
+    pub mode: ShardMode,
+}
+
+impl ShardConfig {
+    /// Strict-mode config with `shards` workers.
+    pub fn strict(shards: usize) -> Self {
+        ShardConfig {
+            shards,
+            mode: ShardMode::Strict,
+        }
+    }
+
+    /// Relaxed-mode config with `shards` workers and the given window.
+    pub fn relaxed(shards: usize, epoch_cycles: u64) -> Self {
+        ShardConfig {
+            shards,
+            mode: ShardMode::Relaxed { epoch_cycles },
+        }
+    }
+
+    /// Validates the config against the simulated machine. A shard needs
+    /// at least one SM, so `shards` must be in `1..=num_sms`; a relaxed
+    /// window must be at least one cycle.
+    pub fn validate(&self, num_sms: usize) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if self.shards > num_sms {
+            return Err(format!(
+                "{} shards exceed the simulated machine's {} SMs (each shard \
+                 needs at least one SM)",
+                self.shards, num_sms
+            ));
+        }
+        if let ShardMode::Relaxed { epoch_cycles: 0 } = self.mode {
+            return Err("relaxed epoch window must be at least 1 cycle".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// A fill routed to a shard, addressed by shard-local SM index.
+#[derive(Clone, Copy)]
+struct ShardRsp {
+    sm_local: u32,
+    rsp: L1Response,
+}
+
+/// An outgoing request recorded by a worker: the cycle it left the L1
+/// plus the shard-local SM that issued it.
+#[derive(Clone, Copy)]
+struct ShardReq {
+    at: u64,
+    sm_local: u32,
+    req: OutgoingReq,
+}
+
+#[derive(Clone, Copy)]
+enum ShardCmd {
+    /// Mailbox at rest between rounds.
+    Idle,
+    /// Strict round: bulk-credit `skip` idle cycles, deliver the mailbox
+    /// responses at `rsp_now`, then tick every SM at `now` and record the
+    /// outgoing requests. `skip > 0` and a non-empty mailbox never occur
+    /// together (a delivering cycle forces the next round to tick).
+    Strict { skip: u64, rsp_now: u64, now: u64 },
+    /// Relaxed round: deliver the mailbox responses at `start`, then
+    /// simulate SM cycles `start..end` (with intra-window skipping),
+    /// recording each outgoing request with its cycle.
+    Epoch { start: u64, end: u64 },
+    /// Final accounting when a run ends on the cycle cap: bulk-credit
+    /// `skip` and deliver the mailbox at `rsp_now` without ticking, so SM
+    /// state matches the serial engine's at the cap.
+    Flush { skip: u64, rsp_now: u64 },
+    /// Return the SMs and exit.
+    Stop,
+}
+
+struct CmdSlot {
+    cmd: ShardCmd,
+    responses: Vec<ShardRsp>,
+}
+
+struct ReplySlot {
+    outgoing: Vec<ShardReq>,
+    next_event: Option<u64>,
+    done: bool,
+}
+
+/// One shard's mailbox pair. `go`/`ack` are monotonically increasing
+/// round numbers: the coordinator fills `cmd` then releases the round by
+/// storing it to `go`; the worker acquires, processes, fills `reply` and
+/// stores the round to `ack`. Each mutex is only ever taken uncontended
+/// (the sequence numbers order the accesses), so the ports cost two
+/// atomics and two lock operations per round.
+struct ShardPort {
+    go: AtomicU64,
+    ack: AtomicU64,
+    cmd: Mutex<CmdSlot>,
+    reply: Mutex<ReplySlot>,
+}
+
+impl ShardPort {
+    fn new() -> Self {
+        ShardPort {
+            go: AtomicU64::new(0),
+            ack: AtomicU64::new(0),
+            cmd: Mutex::new(CmdSlot {
+                cmd: ShardCmd::Idle,
+                responses: Vec::new(),
+            }),
+            reply: Mutex::new(ReplySlot {
+                outgoing: Vec::new(),
+                next_event: None,
+                done: false,
+            }),
+        }
+    }
+}
+
+/// Spin briefly, then yield: shard rounds are short, so the partner is
+/// usually a few hundred nanoseconds away, but yielding keeps heavily
+/// oversubscribed machines (CI runners, single-core boxes) from burning a
+/// scheduling quantum per round.
+fn wait_round(flag: &AtomicU64, round: u64) {
+    let mut spins = 0u32;
+    while flag.load(Ordering::Acquire) < round {
+        spins += 1;
+        if spins < 128 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn worker_loop(mut sms: Vec<Sm>, port: Arc<ShardPort>) -> Vec<Sm> {
+    let mut round = 0u64;
+    let mut inbox: Vec<ShardRsp> = Vec::new();
+    let mut outbox: Vec<ShardReq> = Vec::new();
+    let mut scratch: Vec<OutgoingReq> = Vec::new();
+    loop {
+        round += 1;
+        wait_round(&port.go, round);
+        let cmd = {
+            let mut slot = port.cmd.lock().unwrap();
+            debug_assert!(inbox.is_empty(), "mailbox not drained");
+            std::mem::swap(&mut slot.responses, &mut inbox);
+            std::mem::replace(&mut slot.cmd, ShardCmd::Idle)
+        };
+        match cmd {
+            ShardCmd::Stop => {
+                port.ack.store(round, Ordering::Release);
+                return sms;
+            }
+            ShardCmd::Strict { skip, rsp_now, now } => {
+                debug_assert!(
+                    skip == 0 || inbox.is_empty(),
+                    "a delivering cycle must force a tick"
+                );
+                if skip > 0 {
+                    for sm in &mut sms {
+                        sm.advance_idle(skip);
+                    }
+                }
+                for r in inbox.drain(..) {
+                    sms[r.sm_local as usize].push_response(rsp_now, r.rsp);
+                }
+                tick_and_record(&mut sms, now, &mut scratch, &mut outbox);
+                publish(&port, round, &mut outbox, &sms, now + 1);
+            }
+            ShardCmd::Epoch { start, end } => {
+                for r in inbox.drain(..) {
+                    sms[r.sm_local as usize].push_response(start, r.rsp);
+                }
+                let mut c = start;
+                while c < end {
+                    // Intra-window skipping over this shard's SMs only;
+                    // nothing external arrives mid-window, so the local
+                    // event horizon is the true one.
+                    let mut earliest = u64::MAX;
+                    let mut due = false;
+                    for sm in &sms {
+                        match sm.next_event(c) {
+                            Some(t) if t <= c => {
+                                due = true;
+                                break;
+                            }
+                            Some(t) => earliest = earliest.min(t),
+                            None => {}
+                        }
+                    }
+                    if !due {
+                        let target = earliest.min(end);
+                        for sm in &mut sms {
+                            sm.advance_idle(target - c);
+                        }
+                        c = target;
+                        continue;
+                    }
+                    tick_and_record(&mut sms, c, &mut scratch, &mut outbox);
+                    c += 1;
+                }
+                publish(&port, round, &mut outbox, &sms, end);
+            }
+            ShardCmd::Flush { skip, rsp_now } => {
+                if skip > 0 {
+                    for sm in &mut sms {
+                        sm.advance_idle(skip);
+                    }
+                }
+                for r in inbox.drain(..) {
+                    sms[r.sm_local as usize].push_response(rsp_now, r.rsp);
+                }
+                // Publish the post-delivery done flag and horizon (the
+                // outbox is empty — no tick ran): the coordinator probes
+                // with a flush when a delivery may have been the run's
+                // last work, exactly as the serial engine sees `is_done`
+                // flip within the delivering cycle.
+                publish(&port, round, &mut outbox, &sms, rsp_now + 1);
+            }
+            ShardCmd::Idle => unreachable!("round released without a command"),
+        }
+    }
+}
+
+/// Ticks every SM at `now` and appends its freshly drained outgoing
+/// requests to `outbox`, tagged with the cycle and the shard-local SM
+/// index. Per-SM tick-then-drain matches the serial engine's phase
+/// ordering (SMs never interact directly, so interleaving across SMs is
+/// unobservable).
+fn tick_and_record(
+    sms: &mut [Sm],
+    now: u64,
+    scratch: &mut Vec<OutgoingReq>,
+    out: &mut Vec<ShardReq>,
+) {
+    for (li, sm) in sms.iter_mut().enumerate() {
+        sm.tick(now);
+        scratch.clear();
+        sm.drain_outgoing(scratch);
+        for req in scratch.drain(..) {
+            out.push(ShardReq {
+                at: now,
+                sm_local: li as u32,
+                req,
+            });
+        }
+    }
+}
+
+/// Publishes the round's outbox plus the shard's post-tick event horizon
+/// (earliest `Sm::next_event` at `at`) and done flag, then acks.
+fn publish(port: &ShardPort, round: u64, outbox: &mut Vec<ShardReq>, sms: &[Sm], at: u64) {
+    let mut next: Option<u64> = None;
+    let mut done = true;
+    for sm in sms {
+        done &= sm.done();
+        if let Some(t) = sm.next_event(at) {
+            next = Some(next.map_or(t, |n: u64| n.min(t)));
+        }
+    }
+    {
+        let mut slot = port.reply.lock().unwrap();
+        debug_assert!(slot.outgoing.is_empty(), "reply not gathered");
+        std::mem::swap(&mut slot.outgoing, outbox);
+        slot.next_event = next;
+        slot.done = done;
+    }
+    port.ack.store(round, Ordering::Release);
+}
+
+/// A [`GpuSystem`] with its SMs distributed onto worker threads. Create
+/// with [`ShardedEngine::new`], drive with [`ShardedEngine::run`] (which
+/// may be called repeatedly — the workers persist between calls, so a
+/// warmed-up engine allocates nothing per cycle), then [`finish`]
+/// (or drop) to reassemble the system.
+///
+/// [`finish`]: ShardedEngine::finish
+pub struct ShardedEngine<'a> {
+    sys: &'a mut GpuSystem,
+    mode: ShardMode,
+    /// Global index of each shard's first SM (contiguous partition, so
+    /// shard-major traversal is global SM order).
+    bases: Vec<usize>,
+    /// Owning shard of each global SM index.
+    owner: Vec<u32>,
+    ports: Vec<Arc<ShardPort>>,
+    workers: Vec<JoinHandle<Vec<Sm>>>,
+    round: u64,
+    /// Strict mode: skip span decided last round, to be bulk-credited by
+    /// workers with the next command.
+    pending_skip: u64,
+    /// Cycle at which the pending mailbox responses were collected (the
+    /// cycle the serial engine would have delivered them).
+    rsp_now: u64,
+    /// Per-shard responses awaiting delivery with the next command.
+    inboxes: Vec<Vec<ShardRsp>>,
+    /// Per-shard request batches gathered from the last round.
+    gather: Vec<Vec<ShardReq>>,
+    /// Relaxed mode: per-shard injection cursors into `gather`.
+    cursors: Vec<usize>,
+    worker_next: Vec<Option<u64>>,
+    worker_done: Vec<bool>,
+    ready: Vec<(usize, L1Response)>,
+    finished: bool,
+}
+
+impl<'a> ShardedEngine<'a> {
+    /// Partitions `sys`'s SMs into shards and spawns the workers.
+    ///
+    /// Fails if the config is invalid for the machine
+    /// ([`ShardConfig::validate`]) or a profiler/tracer is attached
+    /// (unsupported under sharding — see the module docs).
+    pub fn new(sys: &'a mut GpuSystem, cfg: &ShardConfig) -> Result<Self, String> {
+        let num_sms = sys.config().num_sms;
+        cfg.validate(num_sms)?;
+        if sys.has_observers() {
+            return Err("sharded runs do not support the profiler or tracer \
+                 (run serially for observability)"
+                .to_string());
+        }
+        let shards = cfg.shards;
+        let mut bases = Vec::with_capacity(shards);
+        let mut owner = Vec::with_capacity(num_sms);
+        let (per, extra) = (num_sms / shards, num_sms % shards);
+        let mut base = 0;
+        for k in 0..shards {
+            bases.push(base);
+            let len = per + usize::from(k < extra);
+            owner.extend(std::iter::repeat_n(k as u32, len));
+            base += len;
+        }
+        debug_assert_eq!(base, num_sms);
+
+        let mut sms = sys.take_sms();
+        let mut chunks: Vec<Vec<Sm>> = Vec::with_capacity(shards);
+        for k in (0..shards).rev() {
+            chunks.push(sms.split_off(bases[k]));
+        }
+        chunks.reverse();
+
+        let ports: Vec<Arc<ShardPort>> = (0..shards).map(|_| Arc::new(ShardPort::new())).collect();
+        let workers = chunks
+            .into_iter()
+            .zip(&ports)
+            .enumerate()
+            .map(|(k, (chunk, port))| {
+                let port = Arc::clone(port);
+                std::thread::Builder::new()
+                    .name(format!("fuse-shard-{k}"))
+                    .spawn(move || worker_loop(chunk, port))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+
+        Ok(ShardedEngine {
+            sys,
+            mode: cfg.mode,
+            bases,
+            owner,
+            ports,
+            workers,
+            round: 0,
+            pending_skip: 0,
+            rsp_now: 0,
+            inboxes: vec![Vec::new(); shards],
+            gather: vec![Vec::new(); shards],
+            cursors: vec![0; shards],
+            worker_next: vec![None; shards],
+            worker_done: vec![false; shards],
+            ready: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Current simulated cycle.
+    pub fn cycle(&self) -> u64 {
+        self.sys.now()
+    }
+
+    /// Runs until the hierarchy drains or the clock reaches `max_cycles`
+    /// (absolute, so repeated calls extend the same run). Returns `true`
+    /// once the simulation is complete.
+    pub fn run(&mut self, max_cycles: u64) -> bool {
+        match self.mode {
+            ShardMode::Strict => self.run_strict(max_cycles),
+            ShardMode::Relaxed { epoch_cycles } => self.run_relaxed(max_cycles, epoch_cycles),
+        }
+    }
+
+    /// Stops the workers, reassembles the SMs into the system and, when
+    /// the run completed, verifies pool quiescence (debug builds).
+    /// Dropping the engine does the same.
+    pub fn finish(mut self) {
+        self.teardown();
+    }
+
+    fn run_strict(&mut self, max_cycles: u64) -> bool {
+        loop {
+            let now = self.sys.now();
+            if now >= max_cycles {
+                // Account the final skip span / undelivered fills so SM
+                // state matches the serial engine's at the cap.
+                self.flush_at_cap();
+                return false;
+            }
+            let skip = std::mem::take(&mut self.pending_skip);
+            let rsp_now = self.rsp_now;
+            self.send(|_| ShardCmd::Strict { skip, rsp_now, now });
+            self.collect_replies();
+
+            // Replay this cycle's requests in global SM order, then run
+            // the shared stage and route the fills home.
+            for k in 0..self.ports.len() {
+                for sr in &self.gather[k] {
+                    debug_assert_eq!(sr.at, now);
+                    self.sys
+                        .inject_req(self.bases[k] + sr.sm_local as usize, sr.req, now);
+                }
+                self.gather[k].clear();
+            }
+            let delivered = self.shared_stage_cycle(now);
+
+            // A delivery that drained the memory side may have been the
+            // run's last work. The serial engine sees `is_done` flip
+            // inside the delivering cycle, so probe the same way: flush
+            // the fills to the workers (no tick) and read their
+            // post-delivery done flags. Terminating here ends the run at
+            // the exact cycle serial does; a failed probe just means the
+            // next round ticks with an already-drained mailbox.
+            let mut may_skip = !delivered;
+            if delivered && self.sys.mem_is_idle() {
+                let rsp_now = self.rsp_now;
+                self.send(|_| ShardCmd::Flush { skip: 0, rsp_now });
+                self.collect_replies();
+                if self.all_workers_done() {
+                    debug_assert!(self.inboxes.iter().all(|b| b.is_empty()));
+                    self.sys.debug_assert_quiescent();
+                    return true;
+                }
+                // The probe refreshed the workers' horizons past the
+                // delivery, so skipping is legal again.
+                may_skip = true;
+            }
+
+            if self.all_workers_done() && self.sys.mem_is_idle() && !delivered {
+                debug_assert!(self.inboxes.iter().all(|b| b.is_empty()));
+                self.sys.debug_assert_quiescent();
+                return true;
+            }
+
+            // Skip decision over the workers' post-tick event horizons
+            // and the memory side. A cycle that delivered fills must be
+            // followed by a tick — unless a probe just pushed them — as
+            // the fills may have armed L1 events the workers' pre-delivery
+            // horizons cannot see. The forced tick is dead at worst, and
+            // dead ticks are stats-neutral.
+            if self.sys.skip_enabled() && may_skip {
+                let next = self.sys.now();
+                let mut earliest = self.sys.mem_next_event(next).unwrap_or(u64::MAX);
+                for &wn in &self.worker_next {
+                    if let Some(t) = wn {
+                        earliest = earliest.min(t);
+                    }
+                }
+                let target = earliest.min(max_cycles);
+                if target > next {
+                    self.sys.advance_idle_mem(target - next);
+                    self.pending_skip = target - next;
+                }
+            }
+        }
+    }
+
+    fn run_relaxed(&mut self, max_cycles: u64, window: u64) -> bool {
+        loop {
+            let start = self.sys.now();
+            if start >= max_cycles {
+                return false;
+            }
+            let end = (start + window).min(max_cycles);
+            self.send(|_| ShardCmd::Epoch { start, end });
+            self.collect_replies();
+
+            // Replay the memory side over the same window, injecting each
+            // recorded request at its recorded cycle (shard-major within
+            // a cycle, i.e. global SM order). Fills collected here sit in
+            // the inboxes until the next epoch's command delivers them.
+            self.cursors.iter_mut().for_each(|c| *c = 0);
+            while self.sys.now() < end {
+                let c = self.sys.now();
+                for k in 0..self.ports.len() {
+                    while self.cursors[k] < self.gather[k].len()
+                        && self.gather[k][self.cursors[k]].at == c
+                    {
+                        let sr = self.gather[k][self.cursors[k]];
+                        self.sys
+                            .inject_req(self.bases[k] + sr.sm_local as usize, sr.req, c);
+                        self.cursors[k] += 1;
+                    }
+                }
+                self.shared_stage_cycle(c);
+                if self.sys.skip_enabled() {
+                    let next = self.sys.now();
+                    let mut earliest = self.sys.mem_next_event(next).unwrap_or(u64::MAX);
+                    for k in 0..self.ports.len() {
+                        if self.cursors[k] < self.gather[k].len() {
+                            earliest = earliest.min(self.gather[k][self.cursors[k]].at);
+                        }
+                    }
+                    let target = earliest.min(end);
+                    if target > next {
+                        self.sys.advance_idle_mem(target - next);
+                    }
+                }
+            }
+            for k in 0..self.ports.len() {
+                debug_assert_eq!(self.cursors[k], self.gather[k].len());
+                self.gather[k].clear();
+            }
+
+            if self.all_workers_done()
+                && self.sys.mem_is_idle()
+                && self.inboxes.iter().all(|b| b.is_empty())
+            {
+                self.sys.debug_assert_quiescent();
+                return true;
+            }
+        }
+    }
+
+    /// Releases one round to every worker: swaps each shard's inbox into
+    /// its command mailbox alongside `cmd`.
+    fn send(&mut self, cmd: impl Fn(usize) -> ShardCmd) {
+        self.round += 1;
+        for (k, port) in self.ports.iter().enumerate() {
+            {
+                let mut slot = port.cmd.lock().unwrap();
+                slot.cmd = cmd(k);
+                debug_assert!(slot.responses.is_empty(), "worker left mailbox full");
+                std::mem::swap(&mut slot.responses, &mut self.inboxes[k]);
+            }
+            port.go.store(self.round, Ordering::Release);
+        }
+    }
+
+    /// Waits for every worker's ack and gathers its outbox, event horizon
+    /// and done flag.
+    fn collect_replies(&mut self) {
+        for k in 0..self.ports.len() {
+            self.wait_ack(k);
+            let mut slot = self.ports[k].reply.lock().unwrap();
+            debug_assert!(self.gather[k].is_empty(), "gather buffer not drained");
+            std::mem::swap(&mut slot.outgoing, &mut self.gather[k]);
+            self.worker_next[k] = slot.next_event;
+            self.worker_done[k] = slot.done;
+        }
+    }
+
+    fn wait_ack(&self, k: usize) {
+        let port = &self.ports[k];
+        let mut spins = 0u32;
+        while port.ack.load(Ordering::Acquire) < self.round {
+            if self.workers[k].is_finished() {
+                panic!("shard worker {k} died mid-run");
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// One shared-stage cycle at `now` (requests already injected):
+    /// delivery, L2, DRAM, response collection, cycle end. Routes the
+    /// collected fills to their owning shards' inboxes and returns
+    /// whether any fill was collected.
+    fn shared_stage_cycle(&mut self, now: u64) -> bool {
+        let mut ready = std::mem::take(&mut self.ready);
+        debug_assert!(ready.is_empty());
+        self.sys.mem_cycle(now, &mut ready);
+        let delivered = !ready.is_empty();
+        for (sm, rsp) in ready.drain(..) {
+            let k = self.owner[sm] as usize;
+            self.inboxes[k].push(ShardRsp {
+                sm_local: (sm - self.bases[k]) as u32,
+                rsp,
+            });
+        }
+        self.ready = ready;
+        if delivered {
+            self.rsp_now = now;
+        }
+        delivered
+    }
+
+    fn all_workers_done(&self) -> bool {
+        self.worker_done.iter().all(|&d| d)
+    }
+
+    /// A capped strict run can end inside a skip span or with fills still
+    /// in the inboxes (never both); apply them so SM statistics match the
+    /// serial engine's at the cap.
+    fn flush_at_cap(&mut self) {
+        if self.pending_skip == 0 && self.inboxes.iter().all(|b| b.is_empty()) {
+            return;
+        }
+        let skip = std::mem::take(&mut self.pending_skip);
+        let rsp_now = self.rsp_now;
+        self.send(|_| ShardCmd::Flush { skip, rsp_now });
+        for k in 0..self.ports.len() {
+            self.wait_ack(k);
+        }
+    }
+
+    fn teardown(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.send(|_| ShardCmd::Stop);
+        if std::thread::panicking() {
+            // Unwinding already: don't risk a double panic on join. The
+            // workers exit on the Stop they just received.
+            return;
+        }
+        let mut sms = Vec::new();
+        for h in self.workers.drain(..) {
+            sms.extend(h.join().expect("shard worker panicked"));
+        }
+        self.sys.restore_sms(sms);
+    }
+}
+
+impl Drop for ShardedEngine<'_> {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+impl GpuSystem {
+    /// Runs the simulation sharded across `cfg.shards` worker threads
+    /// (see the [module docs](crate::sharded)) until every warp retires
+    /// and the hierarchy drains, or `max_cycles` elapses. In
+    /// [`ShardMode::Strict`] the returned [`SimStats`] is bitwise
+    /// identical to [`GpuSystem::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid for this machine
+    /// ([`ShardConfig::validate`]) or a profiler/tracer is attached —
+    /// callers with user-supplied shard counts should validate first.
+    pub fn run_sharded(&mut self, max_cycles: u64, cfg: &ShardConfig) -> SimStats {
+        match ShardedEngine::new(self, cfg) {
+            Ok(mut engine) => {
+                engine.run(max_cycles);
+                engine.finish();
+            }
+            Err(e) => panic!("run_sharded: {e}"),
+        }
+        self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::l1d::IdealL1;
+    use crate::warp::{MemOp, StreamProgram, WarpOp, WarpProgram};
+
+    fn cfg(num_sms: usize) -> GpuConfig {
+        GpuConfig {
+            num_sms,
+            warps_per_sm: 4,
+            ..GpuConfig::gtx480()
+        }
+    }
+
+    fn streaming(sm: usize, warp: u16, ops: usize) -> Box<dyn WarpProgram> {
+        let base = (sm as u64 * 64 + warp as u64) << 20;
+        let v: Vec<WarpOp> = (0..ops)
+            .map(|i| WarpOp::Mem(MemOp::strided(0x20, false, base + i as u64 * 128, 4, 32)))
+            .collect();
+        Box::new(StreamProgram::new(v))
+    }
+
+    fn build(num_sms: usize) -> GpuSystem {
+        GpuSystem::new(
+            cfg(num_sms),
+            |_| Box::new(IdealL1::new()),
+            |s, w| streaming(s, w, 32),
+        )
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        assert!(ShardConfig::strict(0).validate(4).is_err());
+        assert!(ShardConfig::strict(5).validate(4).is_err());
+        assert!(ShardConfig::relaxed(2, 0).validate(4).is_err());
+        assert!(ShardConfig::strict(4).validate(4).is_ok());
+        assert!(ShardConfig::relaxed(1, 64).validate(4).is_ok());
+    }
+
+    #[test]
+    fn strict_matches_serial_bitwise() {
+        let serial = build(4).run(1_000_000);
+        for shards in [1, 2, 3, 4] {
+            let got = build(4).run_sharded(1_000_000, &ShardConfig::strict(shards));
+            assert_eq!(got, serial, "strict sharded diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn strict_matches_serial_with_skipping_disabled() {
+        let mut a = build(3);
+        a.set_cycle_skipping(false);
+        let serial = a.run(1_000_000);
+        let mut b = build(3);
+        b.set_cycle_skipping(false);
+        let got = b.run_sharded(1_000_000, &ShardConfig::strict(3));
+        assert_eq!(got, serial);
+    }
+
+    #[test]
+    fn strict_matches_serial_under_a_cycle_cap() {
+        // Caps landing mid-flight exercise the flush-at-cap path.
+        for cap in [50, 137, 400] {
+            let serial = build(4).run(cap);
+            let got = build(4).run_sharded(cap, &ShardConfig::strict(2));
+            assert_eq!(got, serial, "capped strict diverged at cap {cap}");
+        }
+    }
+
+    #[test]
+    fn relaxed_is_deterministic_and_completes() {
+        let a = build(4).run_sharded(1_000_000, &ShardConfig::relaxed(2, 64));
+        let b = build(4).run_sharded(1_000_000, &ShardConfig::relaxed(2, 64));
+        assert_eq!(a, b, "relaxed sharded must be deterministic");
+        let serial = build(4).run(1_000_000);
+        assert_eq!(
+            a.instructions, serial.instructions,
+            "every warp still retires every instruction"
+        );
+        assert_eq!(a.l1.misses, serial.l1.misses, "same lines still miss");
+    }
+
+    #[test]
+    fn relaxed_single_cycle_window_with_one_shard_still_completes() {
+        let stats = build(2).run_sharded(1_000_000, &ShardConfig::relaxed(1, 1));
+        let serial = build(2).run(1_000_000);
+        assert_eq!(stats.instructions, serial.instructions);
+    }
+
+    #[test]
+    fn engine_can_be_driven_incrementally() {
+        let mut sys = build(2);
+        let mut done = false;
+        {
+            let mut eng = ShardedEngine::new(&mut sys, &ShardConfig::strict(2)).unwrap();
+            let mut cap = 100;
+            while !done && cap < 2_000_000 {
+                done = eng.run(cap);
+                cap += 100;
+            }
+            assert!(done, "incremental run must complete");
+            eng.finish();
+        }
+        let serial = build(2).run(2_000_000);
+        assert_eq!(sys.stats(), serial, "incremental caps are invisible");
+    }
+
+    #[test]
+    fn observers_are_refused() {
+        let mut sys = build(2);
+        sys.enable_profiler(1024);
+        assert!(ShardedEngine::new(&mut sys, &ShardConfig::strict(2)).is_err());
+    }
+}

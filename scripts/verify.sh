@@ -3,6 +3,8 @@
 #
 #   scripts/verify.sh          # fmt + clippy + build + tests
 #   scripts/verify.sh --quick  # skip fmt/clippy (tier-1 only)
+#   scripts/verify.sh --bench  # (re)emit the fig13-shardsN scaling rows
+#                              # in BENCH_sweep.json (schema fuse-sweep-v5)
 #
 # The workspace has no external dependencies (PRNG, timing harness and
 # property generators are all in-repo), so every step below works without
@@ -15,7 +17,35 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 quick=false
-[[ "${1:-}" == "--quick" ]] && quick=true
+bench=false
+case "${1:-}" in
+--quick) quick=true ;;
+--bench) bench=true ;;
+esac
+
+if $bench; then
+    # Intra-simulation scaling axis: one strict sharded fig13 sweep per
+    # shard count, each a named row in BENCH_sweep.json. A scaling row
+    # measured with more shards than the machine has cores would report
+    # scheduler round-robin, not parallel speedup, so those counts are
+    # refused outright rather than silently emitted (--threads 1 keeps
+    # the cell-level sweep from fighting the shards for the same cores).
+    echo "==> cargo build --release (fusesim)"
+    cargo build --release --bin fusesim
+    cores=$(nproc)
+    for shards in 1 2 4 8; do
+        if ((shards > cores)); then
+            echo "==> fig13-shards${shards}: REFUSED — ${cores} core(s) < ${shards} shards;" \
+                "an oversubscribed scaling row would not measure parallelism"
+            continue
+        fi
+        echo "==> fig13-shards${shards}: strict sharded fig13 sweep"
+        ./target/release/fusesim sweep --workloads all --configs fig13 \
+            --threads 1 --shards "${shards}" --name "fig13-shards${shards}" \
+            --json BENCH_sweep.json
+    done
+    exit 0
+fi
 
 if ! $quick; then
     echo "==> cargo fmt --check"
@@ -39,5 +69,20 @@ cargo test -q --workspace
 # short fixed fuzz sweep. Exits non-zero on any divergence (DESIGN.md §3f).
 echo "==> fusesim check (oracle lockstep grid + fuzz smoke)"
 ./target/release/fusesim check --seeds 16 --quiet
+
+# Sharded strict smoke: the engine-independent stats digest must come out
+# byte-identical with the simulation split across two shard workers
+# (DESIGN.md §3g's strict contract, end to end through the CLI).
+echo "==> sharded strict smoke (2 shards, stats must match serial bitwise)"
+./target/release/fusesim sweep --workloads ATAX,GEMM --configs L1-SRAM,Dy-FUSE \
+    --scale 0.1 --threads 1 --stats-json /tmp/fuse-verify-serial.json >/dev/null
+./target/release/fusesim sweep --workloads ATAX,GEMM --configs L1-SRAM,Dy-FUSE \
+    --scale 0.1 --threads 1 --shards 2 --stats-json /tmp/fuse-verify-sharded.json >/dev/null
+diff /tmp/fuse-verify-serial.json /tmp/fuse-verify-sharded.json
+
+# Relaxed sharded smoke: the oracle audits the epoch-synchronized engine
+# on adversarial fuzz machines (shard counts clamp to each machine's SMs).
+echo "==> fusesim check --shards 4 (relaxed sharded engine under the oracle)"
+./target/release/fusesim check --shards 4 --seeds 16 --skip-grid --quiet
 
 echo "verify: OK"

@@ -41,6 +41,17 @@ OPTIONS:
     --workloads <LIST>   comma-separated workloads, or `all` (sweep; default all)
     --configs <LIST>     comma-separated configs, `all`, or `fig13` (sweep; default fig13)
     --threads <N>        sweep worker threads (default: all cores)
+    --shards <N>         shard one simulation across N worker threads
+                         (run/compare/sweep; strict mode — statistics stay
+                         bitwise identical to serial. With `check`, audits
+                         the relaxed sharded engine against the oracle over
+                         the fuzz seeds instead of the lockstep engines)
+    --shard-epoch <W>    relaxed-mode epoch window in cycles (requires
+                         --shards; fills synchronize at epoch boundaries,
+                         so statistics may differ from serial — see
+                         DESIGN.md §3g. check: default 32)
+    --name <NAME>        sweep entry name used as the BENCH_sweep.json
+                         merge key (sweep; default cli-sweep)
     --json <PATH>        append the sweep entry to a BENCH_sweep.json file
     --stats-json <PATH>  write the engine-independent stats digest (sweep)
     --metrics-out <PATH> write the windowed stall-breakdown profile as JSON
@@ -71,6 +82,9 @@ struct Args {
     workloads: String,
     configs: String,
     threads: Option<usize>,
+    shards: Option<usize>,
+    shard_epoch: Option<u64>,
+    name: Option<String>,
     json: Option<String>,
     stats_json: Option<String>,
     metrics_out: Option<String>,
@@ -96,6 +110,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         workloads: "all".to_string(),
         configs: "fig13".to_string(),
         threads: None,
+        shards: None,
+        shard_epoch: None,
+        name: None,
         json: None,
         stats_json: None,
         metrics_out: None,
@@ -132,6 +149,25 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     return Err("--threads must be at least 1".to_string());
                 }
                 args.threads = Some(n);
+            }
+            "--shards" => {
+                let v = argv.next().ok_or("--shards needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                args.shards = Some(n);
+            }
+            "--shard-epoch" => {
+                let v = argv.next().ok_or("--shard-epoch needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad epoch window {v:?}"))?;
+                if n == 0 {
+                    return Err("--shard-epoch must be at least 1".to_string());
+                }
+                args.shard_epoch = Some(n);
+            }
+            "--name" => {
+                args.name = Some(argv.next().ok_or("--name needs a value")?);
             }
             "--json" => {
                 args.json = Some(argv.next().ok_or("--json needs a value")?);
@@ -195,7 +231,7 @@ fn preset_by_name(name: &str) -> Option<L1Preset> {
         .find(|p| p.name().eq_ignore_ascii_case(name))
 }
 
-fn run_config(args: &Args) -> RunConfig {
+fn run_config(args: &Args) -> Result<RunConfig, String> {
     let mut rc = if args.volta {
         RunConfig::volta()
     } else {
@@ -209,7 +245,24 @@ fn run_config(args: &Args) -> RunConfig {
     if args.trace_out.is_some() || args.trace_capacity.is_some() {
         rc.trace_capacity = Some(args.trace_capacity.unwrap_or(65536));
     }
-    rc
+    if args.shards.is_some() {
+        if rc.metrics_window.is_some() || rc.trace_capacity.is_some() {
+            return Err(
+                "--shards cannot be combined with --metrics-out/--metrics-window or \
+                 --trace-out/--trace-capacity: the profiler and tracer observe the \
+                 serial engine only"
+                    .to_string(),
+            );
+        }
+        rc.shards = args.shards;
+        rc.shard_epoch = args.shard_epoch;
+        if let Some(cfg) = rc.shard_config() {
+            cfg.validate(rc.gpu.num_sms)?;
+        }
+    } else if args.shard_epoch.is_some() {
+        return Err("--shard-epoch requires --shards".to_string());
+    }
+    Ok(rc)
 }
 
 fn print_result(r: &RunResult, quiet: bool) {
@@ -304,7 +357,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         .ok_or_else(|| format!("unknown workload {:?} (try `fusesim list`)", args.workload))?;
     let preset = preset_by_name(&args.config)
         .ok_or_else(|| format!("unknown config {:?} (try `fusesim list`)", args.config))?;
-    let r = run_workload(&spec, preset, &run_config(args));
+    let r = run_workload(&spec, preset, &run_config(args)?);
     print_result(&r, args.quiet);
     if let Some(path) = &args.metrics_out {
         let profile = r
@@ -339,7 +392,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 fn cmd_compare(args: &Args) -> Result<(), String> {
     let spec = by_name(&args.workload)
         .ok_or_else(|| format!("unknown workload {:?} (try `fusesim list`)", args.workload))?;
-    let mut plan = SweepPlan::new("compare", run_config(args))
+    let mut plan = SweepPlan::new("compare", run_config(args)?)
         .workloads([spec])
         .presets(&L1Preset::ALL);
     if let Some(t) = args.threads {
@@ -401,7 +454,8 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     if workloads.is_empty() || presets.is_empty() {
         return Err("sweep needs at least one workload and one config".to_string());
     }
-    let mut plan = SweepPlan::new("cli-sweep", run_config(args))
+    let name = args.name.as_deref().unwrap_or("cli-sweep");
+    let mut plan = SweepPlan::new(name, run_config(args)?)
         .workloads(workloads)
         .presets(&presets);
     if let Some(t) = args.threads {
@@ -442,7 +496,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 /// is minimized with the shrinker, written as a `.repro`, and fails the
 /// command.
 fn cmd_check(args: &Args) -> Result<(), String> {
-    use fuse::check::{repro, run_case, shrink, FuzzSpec};
+    use fuse::check::{repro, run_case, run_case_sharded, shrink, FuzzSpec};
 
     let mut failures = 0usize;
 
@@ -482,31 +536,67 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     }
 
     if args.seeds > 0 {
-        println!(
-            "fuzz: {} seeds starting at {}, adversarial machines, both engines",
-            args.seeds, args.seed_base
-        );
+        // With --shards, audit the relaxed sharded engine under the
+        // oracle; otherwise run the classic two-engine lockstep diff.
+        let sharding = args.shards.map(|n| (n, args.shard_epoch.unwrap_or(32)));
+        match sharding {
+            Some((shards, epoch)) => println!(
+                "fuzz: {} seeds starting at {}, adversarial machines, \
+                 sharded relaxed engine ({shards} shards, epoch {epoch}) under the oracle",
+                args.seeds, args.seed_base
+            ),
+            None => println!(
+                "fuzz: {} seeds starting at {}, adversarial machines, both engines",
+                args.seeds, args.seed_base
+            ),
+        }
         for seed in args.seed_base..args.seed_base + args.seeds {
             let spec = FuzzSpec::from_seed(seed);
-            let report = run_case(&spec);
-            if report.ok() {
+            let (ok, first_violation, detail) = match sharding {
+                Some((shards, epoch)) => {
+                    let r = run_case_sharded(&spec, shards, epoch);
+                    let detail = format!("{} shards", r.shards);
+                    (r.ok(), r.violations.first().cloned(), detail)
+                }
+                None => {
+                    let r = run_case(&spec);
+                    let detail = format!("{} events", r.events_compared);
+                    (r.ok(), r.violations.first().cloned(), detail)
+                }
+            };
+            if ok {
                 if !args.quiet {
-                    println!("  ok   seed {seed} ({} events)", report.events_compared);
+                    println!("  ok   seed {seed} ({detail})");
                 }
                 continue;
             }
             failures += 1;
-            println!("  FAIL seed {seed}: {}", report.violations[0]);
-            let minimal = shrink(&spec, |s| !run_case(s).ok(), 200);
-            let reason = run_case(&minimal)
-                .violations
-                .first()
-                .cloned()
-                .unwrap_or_else(|| "shrunk case no longer fails (flaky?)".to_string());
+            println!(
+                "  FAIL seed {seed}: {}",
+                first_violation.as_deref().unwrap_or("unknown violation")
+            );
+            let fails = |s: &FuzzSpec| match sharding {
+                Some((shards, epoch)) => !run_case_sharded(s, shards, epoch).ok(),
+                None => !run_case(s).ok(),
+            };
+            let minimal = shrink(&spec, fails, 200);
+            let reason = match sharding {
+                Some((shards, epoch)) => run_case_sharded(&minimal, shards, epoch)
+                    .violations
+                    .first()
+                    .cloned(),
+                None => run_case(&minimal).violations.first().cloned(),
+            }
+            .unwrap_or_else(|| "shrunk case no longer fails (flaky?)".to_string());
             let text = repro::to_text(&minimal, Some(&reason));
             std::fs::create_dir_all(&args.repro_dir)
                 .map_err(|e| format!("creating {}: {e}", args.repro_dir))?;
-            let path = format!("{}/fuzz-seed-{seed}.repro", args.repro_dir);
+            let kind = if sharding.is_some() {
+                "sharded"
+            } else {
+                "fuzz"
+            };
+            let path = format!("{}/{kind}-seed-{seed}.repro", args.repro_dir);
             std::fs::write(&path, &text).map_err(|e| format!("writing {path}: {e}"))?;
             println!("       minimized repro written to {path}:");
             for line in text.lines() {
@@ -581,7 +671,7 @@ mod tests {
         assert!(a.volta);
         assert_eq!(a.scale, 2.0);
         assert!(!a.no_skip, "skipping defaults on");
-        assert!(run_config(&a).skip);
+        assert!(run_config(&a).unwrap().skip);
     }
 
     #[test]
@@ -621,7 +711,10 @@ mod tests {
         assert_eq!(a.json.as_deref(), Some("out.json"));
         assert_eq!(a.stats_json.as_deref(), Some("digest.json"));
         assert!(a.no_skip);
-        assert!(!run_config(&a).skip, "--no-skip must reach the engine");
+        assert!(
+            !run_config(&a).unwrap().skip,
+            "--no-skip must reach the engine"
+        );
         assert_eq!(parse_sweep_workloads(&a.workloads).unwrap().len(), 2);
         assert_eq!(
             parse_sweep_presets(&a.configs).unwrap(),
@@ -639,22 +732,75 @@ mod tests {
             "trace.json",
         ])
         .unwrap();
-        let rc = run_config(&a);
+        let rc = run_config(&a).unwrap();
         assert_eq!(rc.metrics_window, Some(4096), "default window");
         assert_eq!(rc.trace_capacity, Some(65536), "default ring capacity");
 
         let b = args(&["run", "--metrics-window", "512", "--trace-capacity", "16"]).unwrap();
-        let rc = run_config(&b);
+        let rc = run_config(&b).unwrap();
         assert_eq!(rc.metrics_window, Some(512));
         assert_eq!(rc.trace_capacity, Some(16));
 
-        let plain = run_config(&args(&["run"]).unwrap());
+        let plain = run_config(&args(&["run"]).unwrap()).unwrap();
         assert_eq!(plain.metrics_window, None, "observability is opt-in");
         assert_eq!(plain.trace_capacity, None);
 
         assert!(args(&["run", "--metrics-window", "0"]).is_err());
         assert!(args(&["run", "--trace-capacity", "0"]).is_err());
         assert!(args(&["run", "--metrics-out"]).is_err());
+    }
+
+    #[test]
+    fn sharding_flags_reach_the_run_config() {
+        let a = args(&["run", "--shards", "4"]).unwrap();
+        let rc = run_config(&a).unwrap();
+        assert_eq!(rc.shards, Some(4));
+        assert_eq!(rc.shard_epoch, None, "no epoch flag means strict mode");
+
+        let b = args(&["sweep", "--shards", "2", "--shard-epoch", "64"]).unwrap();
+        let rc = run_config(&b).unwrap();
+        assert_eq!(rc.shards, Some(2));
+        assert_eq!(rc.shard_epoch, Some(64));
+
+        let c = args(&["sweep", "--name", "fig13-shards2", "--shards", "2"]).unwrap();
+        assert_eq!(c.name.as_deref(), Some("fig13-shards2"));
+    }
+
+    #[test]
+    fn sharding_flags_reject_degenerate_counts() {
+        // Zero shards and zero epochs are parse errors, not clamps.
+        let e = args(&["run", "--shards", "0"]).unwrap_err();
+        assert!(e.contains("at least 1"), "got {e:?}");
+        let e = args(&["run", "--shards", "2", "--shard-epoch", "0"]).unwrap_err();
+        assert!(e.contains("at least 1"), "got {e:?}");
+        assert!(args(&["run", "--shards"]).is_err());
+        assert!(args(&["run", "--shards", "x"]).is_err());
+
+        // More shards than SMs is a config error with a clear message,
+        // not a panic or a silent clamp.
+        let a = args(&["run", "--shards", "10000"]).unwrap();
+        let e = run_config(&a).unwrap_err();
+        assert!(e.contains("exceed"), "got {e:?}");
+        assert!(e.contains("SMs"), "got {e:?}");
+
+        // An epoch without sharding is meaningless.
+        let a = args(&["run", "--shard-epoch", "32"]).unwrap();
+        let e = run_config(&a).unwrap_err();
+        assert!(e.contains("requires --shards"), "got {e:?}");
+    }
+
+    #[test]
+    fn sharding_refuses_the_profiler_and_tracer() {
+        for observer in [
+            &["run", "--shards", "2", "--metrics-out", "m.json"][..],
+            &["run", "--shards", "2", "--trace-out", "t.json"][..],
+            &["run", "--shards", "2", "--metrics-window", "512"][..],
+            &["run", "--shards", "2", "--trace-capacity", "16"][..],
+        ] {
+            let a = args(observer).unwrap();
+            let e = run_config(&a).unwrap_err();
+            assert!(e.contains("--shards"), "got {e:?}");
+        }
     }
 
     #[test]

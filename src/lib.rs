@@ -52,5 +52,8 @@ pub use fuse_workloads as workloads;
 pub mod runner;
 pub mod sweep;
 
-pub use runner::{geomean, lockstep_workload, run_l1_config, run_workload, RunConfig, RunResult};
+pub use runner::{
+    geomean, lockstep_workload, run_l1_config, run_workload, sharded_oracle_workload, RunConfig,
+    RunResult,
+};
 pub use sweep::{SweepCell, SweepConfig, SweepPlan, SweepReport};
