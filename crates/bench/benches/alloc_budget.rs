@@ -102,6 +102,8 @@ fn main() {
         wall_ns: t0.elapsed().as_nanos() as u64,
         shards: None,
         epoch_cycles: None,
+        cache_hits: None,
+        cache_misses: None,
     };
     record_sweep(&report);
 

@@ -1,0 +1,211 @@
+//! Engine performance V — the content-addressed result cache and the
+//! batch service under load.
+//!
+//! Three timed passes over the acceptance grid (21 workloads ×
+//! {L1-SRAM, Dy-FUSE} = 42 cells):
+//!
+//! * **cold** — empty store; every cell simulates and is recorded;
+//! * **warm** — same grid again; every cell answers from the store with
+//!   zero engine cycles simulated, and the engine-independent report is
+//!   byte-identical to the cold one;
+//! * **incremental** — one cell invalidated (as `fusesim cache rm`
+//!   would); exactly that cell re-simulates.
+//!
+//! The cold and warm reports are recorded as the `fig13-cold` /
+//! `fig13-warm` rows of `BENCH_sweep.json`, so the speedup is part of
+//! the tracked bench history. A final in-process pass hammers a
+//! [`Server`] with thousands of overlapping requests from concurrent
+//! client threads to exercise coalescing and the bounded queue.
+//!
+//! `--check` runs the same shape under the smoke budget and asserts the
+//! invariants without recording rows.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fuse::core::config::L1Preset;
+use fuse::runner::{preset_cell_key, run_workload, RunConfig};
+use fuse::serve::proto::{CellReply, CellSpec};
+use fuse::serve::{CellBackend, CellKey, CellRecord, ResultCache, Server, ServerConfig};
+use fuse::sweep::{SweepPlan, SweepReport};
+use fuse_bench::bench_config;
+use fuse_workloads::{all_workloads, by_name};
+
+const PRESETS: [L1Preset; 2] = [L1Preset::L1Sram, L1Preset::DyFuse];
+
+fn grid(name: &str, rc: &RunConfig) -> SweepPlan {
+    SweepPlan::new(name, rc.clone())
+        .workloads(all_workloads())
+        .presets(&PRESETS)
+}
+
+fn timed(plan: SweepPlan) -> (SweepReport, Duration) {
+    let start = Instant::now();
+    let report = plan.run();
+    (report, start.elapsed())
+}
+
+/// `fusesim serve`'s backend, re-built here so the load test measures
+/// the in-process server rather than socket and process overheads.
+struct GridBackend {
+    rc: RunConfig,
+}
+
+impl GridBackend {
+    fn preset(name: &str) -> Result<L1Preset, String> {
+        L1Preset::FIG13
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| format!("unknown config {name:?}"))
+    }
+}
+
+impl CellBackend for GridBackend {
+    fn key(&self, spec: &CellSpec) -> Result<CellKey, String> {
+        let w = by_name(&spec.workload)
+            .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
+        Ok(preset_cell_key(&w, Self::preset(&spec.config)?, &self.rc))
+    }
+
+    fn simulate(&self, spec: &CellSpec) -> Result<CellRecord, String> {
+        let w = by_name(&spec.workload)
+            .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
+        Ok(run_workload(&w, Self::preset(&spec.config)?, &self.rc).to_record())
+    }
+}
+
+/// Every client thread submits the whole grid `rounds` times; the cells
+/// overlap across threads, so the first round is carried by coalescing
+/// and every later one by the cache.
+fn serve_load(cache_dir: &std::path::Path, rc: &RunConfig, clients: usize, rounds: usize) {
+    let batch: Vec<CellSpec> = all_workloads()
+        .iter()
+        .flat_map(|w| {
+            PRESETS.iter().map(|p| CellSpec {
+                workload: w.name.to_string(),
+                config: p.name().to_string(),
+            })
+        })
+        .collect();
+    let cache = Arc::new(ResultCache::open(cache_dir, None).expect("cache opens"));
+    let server = Arc::new(Server::new(
+        Arc::new(GridBackend { rc: rc.clone() }),
+        cache,
+        ServerConfig::default(),
+    ));
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let batch = batch.clone();
+            std::thread::spawn(move || {
+                let mut cached = 0u64;
+                let mut errors = 0u64;
+                for _ in 0..rounds {
+                    for reply in server.resolve_batch(&batch) {
+                        match reply {
+                            CellReply::Ok { cached: true, .. } => cached += 1,
+                            CellReply::Ok { .. } => {}
+                            CellReply::Err { .. } => errors += 1,
+                        }
+                    }
+                }
+                (cached, errors)
+            })
+        })
+        .collect();
+    let mut cached = 0u64;
+    let mut errors = 0u64;
+    for h in handles {
+        let (c, e) = h.join().expect("client thread");
+        cached += c;
+        errors += e;
+    }
+    let elapsed = start.elapsed();
+
+    let total = (clients * rounds * batch.len()) as u64;
+    let stats = server.cache().stats();
+    assert_eq!(errors, 0, "no request may fail under load");
+    assert_eq!(
+        stats.inserts, 0,
+        "a warm store must absorb the whole load without one simulation"
+    );
+    assert_eq!(
+        cached, total,
+        "every reply should be served without simulating"
+    );
+    println!(
+        "serve load: {total} requests from {clients} clients in {:.2?} \
+         ({:.0} req/s, {} coalesced, {} store hits)",
+        elapsed,
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+        server.coalesced(),
+        stats.hits,
+    );
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let rc = if check {
+        RunConfig::smoke()
+    } else {
+        bench_config()
+    };
+
+    let dir = std::env::temp_dir().join(format!("fuse_serve_load_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let open = || Arc::new(ResultCache::open(&dir, None).expect("cache opens"));
+
+    let (cold, cold_t) = timed(grid("fig13-cold", &rc).cache(open()));
+    assert_eq!(
+        cold.cache_misses,
+        Some(42),
+        "cold grid simulates all 42 cells"
+    );
+
+    // A fresh handle, as a second `fusesim sweep` invocation would open.
+    let (warm, warm_t) = timed(grid("fig13-warm", &rc).cache(open()));
+    assert_eq!(
+        warm.cache_hits,
+        Some(42),
+        "warm grid answers all 42 from the store"
+    );
+    assert_eq!(warm.cache_misses, Some(0));
+    assert_eq!(
+        warm.stats_json(),
+        cold.stats_json()
+            .replace("\"fig13-cold\"", "\"fig13-warm\""),
+        "warm report must be byte-identical to cold"
+    );
+
+    // Invalidate one cell; only it may re-simulate.
+    let victim = preset_cell_key(&by_name("ATAX").expect("ATAX"), L1Preset::DyFuse, &rc);
+    assert!(open().remove(&victim.hex), "victim cell was recorded");
+    let (incr, incr_t) = timed(grid("fig13-incremental", &rc).cache(open()));
+    assert_eq!(incr.cache_hits, Some(41));
+    assert_eq!(incr.cache_misses, Some(1));
+
+    let speedup = cold_t.as_secs_f64() / warm_t.as_secs_f64().max(1e-9);
+    println!(
+        "fig13 42-cell grid: cold {:.2?}  warm {:.2?} ({:.0}x)  incremental {:.2?}",
+        cold_t, warm_t, speedup, incr_t
+    );
+    if !check {
+        fuse_bench::record_sweep(&cold);
+        fuse_bench::record_sweep(&warm);
+        assert!(
+            speedup >= 20.0,
+            "warm re-run must be >=20x faster than cold (got {speedup:.1}x)"
+        );
+    }
+
+    // Load test: thousands of overlapping requests against the warmed
+    // store (the removed victim is back after the incremental pass).
+    let (clients, rounds) = if check { (4, 4) } else { (8, 16) };
+    serve_load(&dir, &rc, clients, rounds);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("serve_load: ok");
+}

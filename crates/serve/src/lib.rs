@@ -1,0 +1,44 @@
+//! # fuse-serve — content-addressed result cache and batch service
+//!
+//! Design-space exploration is dominated by *repeated, overlapping*
+//! configurations: a ratio sweep shares its baseline column with every
+//! other figure, a re-run after an unrelated code change repeats the whole
+//! grid, and a long-running exploration service sees the same popular
+//! cells thousands of times. Every simulation cell in this workspace is a
+//! deterministic pure function of its full configuration, so each result
+//! only ever needs to be computed **once**.
+//!
+//! This crate provides the machinery that makes cache hits skip the
+//! engine entirely (DESIGN.md §3h):
+//!
+//! * [`key`] — [`key::CellKey`]: a content digest over (workload spec,
+//!   machine config, L1 configuration, engine version + feature flags,
+//!   budget, skip mode, shards/epoch). Any field change invalidates;
+//!   nothing else does.
+//! * [`record`] — [`record::CellRecord`]: the engine-independent outcome
+//!   of one cell ([`fuse_gpu::stats::SimStats`], controller metrics,
+//!   energy breakdown) with a versioned, checksummed text serialisation.
+//! * [`store`] — [`store::ResultCache`]: an in-memory + persisted-on-disk
+//!   cache with LRU byte-budget eviction and corrupt-entry quarantine.
+//! * [`server`] — the `fusesim serve` front-end: a bounded job queue and
+//!   worker pool behind a local socket, with request coalescing (two
+//!   in-flight requests for the same [`key::CellKey`] share one
+//!   simulation).
+//! * [`proto`] — the line-based wire protocol shared by server and
+//!   client.
+//!
+//! The crate deliberately knows nothing about *how* a cell is simulated:
+//! callers inject that through [`server::CellBackend`] (the `fusesim`
+//! binary wires it to the experiment runner), which keeps the dependency
+//! graph acyclic — the umbrella `fuse` crate consumes this one.
+
+pub mod key;
+pub mod proto;
+pub mod record;
+pub mod server;
+pub mod store;
+
+pub use key::{CellKey, KeyParts, L1Column, ENGINE_FEATURES, ENGINE_VERSION};
+pub use record::CellRecord;
+pub use server::{CellBackend, Server, ServerConfig};
+pub use store::{CacheStatsSnapshot, ResultCache, VerifyOutcome};

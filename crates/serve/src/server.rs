@@ -1,0 +1,693 @@
+//! The `fusesim serve` front-end: a bounded job queue and worker pool
+//! behind a local Unix socket.
+//!
+//! # Coalescing
+//!
+//! The point of a batch service over a plain cache is what happens
+//! *between* miss and insert: with many concurrent clients the same
+//! popular cell is requested again while its first simulation is still
+//! running. The server keeps an **in-flight map** from digest to a shared
+//! completion slot; a second request for a running cell waits on the
+//! first one's slot instead of enqueueing a duplicate job. The ordering
+//! that makes this race-free is pinned in the worker: the result is
+//! inserted into the cache *before* the in-flight entry is removed, so a
+//! late arrival either finds the in-flight slot or hits the cache —
+//! there is no window where it would re-simulate.
+//!
+//! # Back-pressure
+//!
+//! The job queue is bounded ([`ServerConfig::queue_capacity`]); when
+//! it is full, connection handlers block in `enqueue` rather than
+//! buffering unbounded work. Shutdown drains: the acceptor stops, handler
+//! threads finish their batches (workers still running), and only then
+//! are stop jobs queued behind the remaining work.
+//!
+//! # The backend seam
+//!
+//! This crate cannot depend on the experiment runner (the umbrella crate
+//! depends on *us*), so simulation capability is injected through
+//! [`CellBackend`]: the `fusesim` binary implements it over its run
+//! configuration. That seam is also what makes the concurrency machinery
+//! testable — the tests below drive it with gated fake backends instead
+//! of real multi-second simulations.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::key::CellKey;
+use crate::proto::{self, CellReply, CellSpec, Request};
+use crate::record::CellRecord;
+use crate::store::ResultCache;
+
+/// How a server derives keys and simulates cells. Implementations must
+/// be pure: the same spec always yields the same key and (up to
+/// determinism of the engine, which this workspace guarantees) the same
+/// record.
+pub trait CellBackend: Send + Sync {
+    /// Derives the content key for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown workload or configuration names.
+    fn key(&self, spec: &CellSpec) -> Result<CellKey, String>;
+
+    /// Runs the simulation for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific failures; they are reported to every waiter of
+    /// the coalesced request and never poison the cache.
+    fn simulate(&self, spec: &CellSpec) -> Result<CellRecord, String>;
+}
+
+/// Worker-pool and queue sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Simulation worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded job-queue capacity (clamped to at least 1).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// A completion slot shared by every request coalesced onto one
+/// simulation.
+struct InFlight {
+    done: Mutex<Option<Result<Arc<CellRecord>, String>>>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn new() -> InFlight {
+        InFlight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, result: Result<Arc<CellRecord>, String>) {
+        let mut done = self.done.lock().expect("slot lock");
+        *done = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<CellRecord>, String> {
+        let mut done = self.done.lock().expect("slot lock");
+        loop {
+            if let Some(r) = done.as_ref() {
+                return r.clone();
+            }
+            done = self.cv.wait(done).expect("slot lock");
+        }
+    }
+}
+
+enum Job {
+    Cell {
+        spec: CellSpec,
+        key: CellKey,
+        slot: Arc<InFlight>,
+    },
+    Stop,
+}
+
+struct Shared {
+    backend: Arc<dyn CellBackend>,
+    cache: Arc<ResultCache>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+    inflight: Mutex<HashMap<String, Arc<InFlight>>>,
+    coalesced: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+enum Begun {
+    Hit(CellKey, Arc<CellRecord>),
+    /// `bool` = this request enqueued the job (false = coalesced onto an
+    /// earlier one).
+    Pending(CellKey, Arc<InFlight>, bool),
+    Failed(String),
+}
+
+impl Shared {
+    /// Phase 1 of a batch: classify one cell and, on a fresh miss,
+    /// enqueue its job. Does not wait.
+    fn begin(&self, spec: &CellSpec) -> Begun {
+        let key = match self.backend.key(spec) {
+            Ok(k) => k,
+            Err(e) => return Begun::Failed(e),
+        };
+        if let Some(rec) = self.cache.get(&key) {
+            return Begun::Hit(key, rec);
+        }
+        let (slot, fresh) = {
+            let mut map = self.inflight.lock().expect("inflight lock");
+            match map.get(&key.hex) {
+                Some(existing) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    (existing.clone(), false)
+                }
+                None => {
+                    let slot = Arc::new(InFlight::new());
+                    map.insert(key.hex.clone(), slot.clone());
+                    (slot, true)
+                }
+            }
+        };
+        if fresh {
+            self.enqueue(Job::Cell {
+                spec: spec.clone(),
+                key: key.clone(),
+                slot: slot.clone(),
+            });
+        }
+        Begun::Pending(key, slot, fresh)
+    }
+
+    /// Blocks while the queue is at capacity (back-pressure); `Stop`
+    /// jobs bypass the bound so shutdown can never deadlock on a full
+    /// queue.
+    fn enqueue(&self, job: Job) {
+        let mut q = self.queue.lock().expect("queue lock");
+        if !matches!(job, Job::Stop) {
+            while q.len() >= self.queue_capacity {
+                q = self.not_full.wait(q).expect("queue lock");
+            }
+        }
+        q.push_back(job);
+        drop(q);
+        self.not_empty.notify_one();
+    }
+
+    fn worker_loop(self: &Arc<Shared>) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("queue lock");
+                loop {
+                    if let Some(j) = q.pop_front() {
+                        break j;
+                    }
+                    q = self.not_empty.wait(q).expect("queue lock");
+                }
+            };
+            self.not_full.notify_one();
+            let Job::Cell { spec, key, slot } = job else {
+                return;
+            };
+            let result = match self.backend.simulate(&spec) {
+                // Insert into the cache FIRST (see module docs); if the
+                // write fails the result is still valid for waiters —
+                // only persistence is lost.
+                Ok(record) => match self.cache.insert(&key, record.clone()) {
+                    Ok(arc) => Ok(arc),
+                    Err(_) => Ok(Arc::new(record)),
+                },
+                Err(e) => Err(e),
+            };
+            slot.fulfill(result);
+            self.inflight
+                .lock()
+                .expect("inflight lock")
+                .remove(&key.hex);
+        }
+    }
+
+    fn resolve_batch(&self, specs: &[CellSpec]) -> Vec<CellReply> {
+        // Enqueue every miss before waiting on any, so one connection's
+        // batch spreads across the whole worker pool.
+        let begun: Vec<Begun> = specs.iter().map(|s| self.begin(s)).collect();
+        specs
+            .iter()
+            .zip(begun)
+            .map(|(spec, b)| match b {
+                Begun::Hit(key, rec) => reply_ok(spec, true, &key, &rec),
+                Begun::Pending(key, slot, fresh) => match slot.wait() {
+                    // A coalesced waiter did not cost a simulation, so it
+                    // reports as `cached` just like a store hit.
+                    Ok(rec) => reply_ok(spec, !fresh, &key, &rec),
+                    Err(reason) => CellReply::Err {
+                        spec: spec.clone(),
+                        reason,
+                    },
+                },
+                Begun::Failed(reason) => CellReply::Err {
+                    spec: spec.clone(),
+                    reason,
+                },
+            })
+            .collect()
+    }
+}
+
+fn reply_ok(spec: &CellSpec, cached: bool, key: &CellKey, rec: &CellRecord) -> CellReply {
+    CellReply::Ok {
+        spec: spec.clone(),
+        cached,
+        key: key.hex.clone(),
+        cycles: rec.sim.cycles,
+        instructions: rec.sim.instructions,
+    }
+}
+
+/// The batch simulation service: worker pool + bounded queue + coalescing
+/// front-end, optionally exposed over a Unix socket.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Builds the server and spawns its worker pool.
+    pub fn new(
+        backend: Arc<dyn CellBackend>,
+        cache: Arc<ResultCache>,
+        config: ServerConfig,
+    ) -> Server {
+        let shared = Arc::new(Shared {
+            backend,
+            cache,
+            queue: Mutex::new(VecDeque::new()),
+            queue_capacity: config.queue_capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut workers = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let s = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("fuse-serve-worker-{i}"))
+                .spawn(move || s.worker_loop())
+                .expect("spawn worker");
+            workers.push(handle);
+        }
+        Server {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Resolves a batch: cache hits return immediately, misses are
+    /// enqueued (all of them, before waiting on any) and awaited. One
+    /// reply per requested cell, in request order.
+    pub fn resolve_batch(&self, specs: &[CellSpec]) -> Vec<CellReply> {
+        self.shared.resolve_batch(specs)
+    }
+
+    /// Resolves a single cell.
+    pub fn resolve(&self, spec: &CellSpec) -> CellReply {
+        self.resolve_batch(std::slice::from_ref(spec))
+            .pop()
+            .expect("one reply per spec")
+    }
+
+    /// Requests coalesced onto an in-flight simulation so far.
+    pub fn coalesced(&self) -> u64 {
+        self.shared.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// The underlying cache (for stats reporting).
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.shared.cache
+    }
+
+    /// Serves the line protocol on a Unix socket at `path` until a
+    /// `SHUTDOWN` request arrives. Handler threads are joined before this
+    /// returns, so every accepted batch completes; call [`Server::join`]
+    /// afterwards to retire the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/accept failures.
+    pub fn serve_unix(&self, path: &Path) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let mut handlers = Vec::new();
+        for stream in listener.incoming() {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = stream?;
+            let shared = self.shared.clone();
+            let wake_path = path.to_path_buf();
+            handlers.push(std::thread::spawn(move || {
+                handle_conn(&shared, stream, &wake_path);
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+
+    /// Stops and joins the worker pool after all queued jobs drain.
+    /// Idempotent.
+    pub fn join(&self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut w = self.workers.lock().expect("workers lock");
+            std::mem::take(&mut *w)
+        };
+        for _ in &handles {
+            self.shared.enqueue(Job::Stop);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: UnixStream, socket_path: &Path) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ok = match proto::parse_request(&line) {
+            Ok(Request::Ping) => writeln!(writer, "PONG").is_ok(),
+            Ok(Request::Stats) => {
+                let s = shared.cache.stats();
+                let c = shared.coalesced.load(Ordering::Relaxed);
+                writeln!(writer, "{}", proto::stats_line(&s, c)).is_ok()
+            }
+            Ok(Request::Shutdown) => {
+                let _ = writeln!(writer, "BYE");
+                let _ = writer.flush();
+                shared.shutdown.store(true, Ordering::Release);
+                // Wake the acceptor blocked in `accept` so it can
+                // observe the flag and exit.
+                let _ = UnixStream::connect(socket_path);
+                return;
+            }
+            Ok(Request::Sweep(cells)) => {
+                let replies = shared.resolve_batch(&cells);
+                let mut hits = 0u64;
+                let mut misses = 0u64;
+                let mut errors = 0u64;
+                let mut ok = true;
+                for r in &replies {
+                    match r {
+                        CellReply::Ok { cached: true, .. } => hits += 1,
+                        CellReply::Ok { cached: false, .. } => misses += 1,
+                        CellReply::Err { .. } => errors += 1,
+                    }
+                    ok &= writeln!(writer, "{}", r.line()).is_ok();
+                }
+                ok && writeln!(writer, "{}", proto::done_line(hits, misses, errors)).is_ok()
+            }
+            Err(e) => writeln!(writer, "ERR - {e}").is_ok(),
+        };
+        if !ok || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::digest_hex;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    /// A backend that derives keys from the spec token and fabricates
+    /// deterministic records; `gate` makes `simulate` block until
+    /// released so tests can hold a cell in flight.
+    struct FakeBackend {
+        calls: AtomicUsize,
+        gate: Option<(Mutex<bool>, Condvar)>,
+        started: (Mutex<usize>, Condvar),
+    }
+
+    impl FakeBackend {
+        fn free() -> FakeBackend {
+            FakeBackend {
+                calls: AtomicUsize::new(0),
+                gate: None,
+                started: (Mutex::new(0), Condvar::new()),
+            }
+        }
+
+        fn gated() -> FakeBackend {
+            FakeBackend {
+                calls: AtomicUsize::new(0),
+                gate: Some((Mutex::new(false), Condvar::new())),
+                started: (Mutex::new(0), Condvar::new()),
+            }
+        }
+
+        fn release(&self) {
+            let (lock, cv) = self.gate.as_ref().expect("gated backend");
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+
+        fn wait_for_started(&self, n: usize) {
+            let (lock, cv) = &self.started;
+            let mut count = lock.lock().unwrap();
+            while *count < n {
+                count = cv.wait(count).unwrap();
+            }
+        }
+    }
+
+    impl CellBackend for FakeBackend {
+        fn key(&self, spec: &CellSpec) -> Result<CellKey, String> {
+            if spec.workload == "NOPE" {
+                return Err(format!("unknown workload {:?}", spec.workload));
+            }
+            let text = format!("fake-key\n{}\n", spec.token());
+            Ok(CellKey {
+                hex: digest_hex(&text),
+                text,
+            })
+        }
+
+        fn simulate(&self, spec: &CellSpec) -> Result<CellRecord, String> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            {
+                let (lock, cv) = &self.started;
+                *lock.lock().unwrap() += 1;
+                cv.notify_all();
+            }
+            if let Some((lock, cv)) = self.gate.as_ref() {
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }
+            let mut r = CellRecord {
+                workload: spec.workload.clone(),
+                config: spec.config.clone(),
+                ..CellRecord::default()
+            };
+            r.sim.cycles = spec.workload.len() as u64 * 1000 + spec.config.len() as u64;
+            r.sim.instructions = 7;
+            Ok(r)
+        }
+    }
+
+    fn tmp_cache(tag: &str) -> (PathBuf, Arc<ResultCache>) {
+        let dir =
+            std::env::temp_dir().join(format!("fuse_server_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Arc::new(ResultCache::open(&dir, None).unwrap());
+        (dir, cache)
+    }
+
+    fn spec(w: &str, c: &str) -> CellSpec {
+        CellSpec {
+            workload: w.to_string(),
+            config: c.to_string(),
+        }
+    }
+
+    #[test]
+    fn second_request_is_a_cache_hit_not_a_simulation() {
+        let (dir, cache) = tmp_cache("hit");
+        let backend = Arc::new(FakeBackend::free());
+        let server = Server::new(backend.clone(), cache, ServerConfig::default());
+        let s = spec("ATAX", "Dy-FUSE");
+        let first = server.resolve(&s);
+        let second = server.resolve(&s);
+        assert!(matches!(first, CellReply::Ok { cached: false, .. }));
+        assert!(matches!(second, CellReply::Ok { cached: true, .. }));
+        assert_eq!(backend.calls.load(Ordering::SeqCst), 1);
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overlapping_requests_for_one_cell_share_one_simulation() {
+        let (dir, cache) = tmp_cache("coalesce");
+        let backend = Arc::new(FakeBackend::gated());
+        let server = Arc::new(Server::new(backend.clone(), cache, ServerConfig::default()));
+        let s = spec("ATAX", "Dy-FUSE");
+
+        let a = {
+            let server = server.clone();
+            let s = s.clone();
+            std::thread::spawn(move || server.resolve(&s))
+        };
+        // Hold until the first simulation is genuinely in flight, then
+        // issue the overlapping request.
+        backend.wait_for_started(1);
+        let b = {
+            let server = server.clone();
+            let s = s.clone();
+            std::thread::spawn(move || server.resolve(&s))
+        };
+        // The second request must coalesce, not start a second
+        // simulation; give it until it registers.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.coalesced() == 0 {
+            assert!(std::time::Instant::now() < deadline, "never coalesced");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        backend.release();
+        let ra = a.join().unwrap();
+        let rb = b.join().unwrap();
+        assert_eq!(
+            backend.calls.load(Ordering::SeqCst),
+            1,
+            "one simulation total"
+        );
+        let cycles = |r: &CellReply| match r {
+            CellReply::Ok { cycles, .. } => *cycles,
+            CellReply::Err { reason, .. } => panic!("unexpected error: {reason}"),
+        };
+        assert_eq!(
+            cycles(&ra),
+            cycles(&rb),
+            "both waiters got the shared result"
+        );
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_queue_with_one_worker_drains_a_large_batch() {
+        let (dir, cache) = tmp_cache("queue");
+        let backend = Arc::new(FakeBackend::free());
+        let server = Server::new(
+            backend.clone(),
+            cache,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 2,
+            },
+        );
+        let specs: Vec<CellSpec> = (0..8).map(|i| spec(&format!("W{i}"), "Dy-FUSE")).collect();
+        let replies = server.resolve_batch(&specs);
+        assert_eq!(replies.len(), 8);
+        assert!(replies.iter().all(|r| matches!(r, CellReply::Ok { .. })));
+        assert_eq!(backend.calls.load(Ordering::SeqCst), 8);
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_cell_is_an_error_reply_not_a_crash() {
+        let (dir, cache) = tmp_cache("err");
+        let server = Server::new(
+            Arc::new(FakeBackend::free()),
+            cache,
+            ServerConfig::default(),
+        );
+        let r = server.resolve(&spec("NOPE", "Dy-FUSE"));
+        match r {
+            CellReply::Err { reason, .. } => assert!(reason.contains("unknown workload")),
+            other => panic!("expected error reply, got {other:?}"),
+        }
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unix_socket_end_to_end_with_clean_shutdown() {
+        let (dir, cache) = tmp_cache("sock");
+        let backend = Arc::new(FakeBackend::free());
+        let server = Arc::new(Server::new(backend.clone(), cache, ServerConfig::default()));
+        let sock =
+            std::env::temp_dir().join(format!("fuse_serve_test_{}.sock", std::process::id()));
+        let acceptor = {
+            let server = server.clone();
+            let sock = sock.clone();
+            std::thread::spawn(move || server.serve_unix(&sock))
+        };
+        // Wait for the socket to appear.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut conn = loop {
+            match UnixStream::connect(&sock) {
+                Ok(c) => break c,
+                Err(_) => {
+                    assert!(std::time::Instant::now() < deadline, "socket never bound");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        fn next(reader: &mut BufReader<UnixStream>) -> String {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line.trim_end().to_string()
+        }
+        fn ask(conn: &mut UnixStream, reader: &mut BufReader<UnixStream>, req: &str) -> String {
+            writeln!(conn, "{req}").unwrap();
+            conn.flush().unwrap();
+            next(reader)
+        }
+        assert_eq!(ask(&mut conn, &mut reader, "PING"), "PONG");
+        let cell = ask(&mut conn, &mut reader, "SWEEP ATAX/Dy-FUSE");
+        assert!(
+            cell.starts_with("CELL ATAX/Dy-FUSE computed key="),
+            "{cell}"
+        );
+        assert_eq!(next(&mut reader), "DONE hits=0 misses=1 errors=0");
+        // Same cell again, now warm.
+        let cell = ask(&mut conn, &mut reader, "SWEEP ATAX/Dy-FUSE");
+        assert!(cell.starts_with("CELL ATAX/Dy-FUSE cached key="), "{cell}");
+        assert_eq!(next(&mut reader), "DONE hits=1 misses=0 errors=0");
+        let stats = ask(&mut conn, &mut reader, "STATS");
+        assert!(stats.starts_with("STATS entries=1 "), "{stats}");
+        assert_eq!(
+            ask(&mut conn, &mut reader, "SWEEP bogus"),
+            "ERR - bad cell \"bogus\": expected <workload>/<config>"
+        );
+        assert_eq!(ask(&mut conn, &mut reader, "SHUTDOWN"), "BYE");
+        acceptor.join().unwrap().unwrap();
+        assert!(!sock.exists(), "socket file removed on shutdown");
+        assert_eq!(backend.calls.load(Ordering::SeqCst), 1);
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -44,6 +44,11 @@ if $bench; then
             --threads 1 --shards "${shards}" --name "fig13-shards${shards}" \
             --json BENCH_sweep.json
     done
+    # Result-cache axis: the serve_load bench re-measures the fig13
+    # acceptance grid cold and warm (fig13-cold / fig13-warm rows) and
+    # asserts the warm pass is >=20x faster and byte-identical.
+    echo "==> serve_load: cold/warm/incremental cache rows + service load test"
+    cargo bench -p fuse-bench --bench serve_load
     exit 0
 fi
 
@@ -84,5 +89,42 @@ diff /tmp/fuse-verify-serial.json /tmp/fuse-verify-sharded.json
 # on adversarial fuzz machines (shard counts clamp to each machine's SMs).
 echo "==> fusesim check --shards 4 (relaxed sharded engine under the oracle)"
 ./target/release/fusesim check --shards 4 --seeds 16 --skip-grid --quiet
+
+# Result-cache round trip: the fig13 acceptance grid (21 workloads x
+# {L1-SRAM, Dy-FUSE}) cold then warm into a fresh cache directory. The
+# warm pass must answer all 42 cells from the store — zero simulations —
+# and reproduce the engine-independent stats byte for byte, and the
+# store must pass its own integrity check (DESIGN.md §3h).
+echo "==> result cache round trip (fig13 grid cold, then warm: 100% hits, stats bitwise equal)"
+cache_dir=$(mktemp -d /tmp/fuse-verify-cache.XXXXXX)
+./target/release/fusesim sweep --workloads all --configs L1-SRAM,Dy-FUSE \
+    --scale 0.1 --name cache-smoke --cache-dir "$cache_dir" \
+    --stats-json /tmp/fuse-verify-cold.json | grep -F "cache: 0 hit(s), 42 miss(es)"
+./target/release/fusesim sweep --workloads all --configs L1-SRAM,Dy-FUSE \
+    --scale 0.1 --name cache-smoke --cache-dir "$cache_dir" \
+    --stats-json /tmp/fuse-verify-warm.json | grep -F "cache: 42 hit(s), 0 miss(es)"
+diff /tmp/fuse-verify-cold.json /tmp/fuse-verify-warm.json
+./target/release/fusesim cache verify --cache-dir "$cache_dir" >/dev/null
+rm -rf "$cache_dir"
+
+# Service smoke: start `fusesim serve`, race two overlapping batches at
+# it, then shut it down cleanly. Coalescing and the bounded queue are
+# unit-tested; this exercises the socket path end to end through the CLI.
+echo "==> fusesim serve smoke (two overlapping batches, clean shutdown)"
+serve_dir=$(mktemp -d /tmp/fuse-verify-serve.XXXXXX)
+sock="$serve_dir/fusesim.sock"
+./target/release/fusesim serve --socket "$sock" --cache-dir "$serve_dir/cache" \
+    --scale 0.1 --workers 2 >/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+./target/release/fusesim submit --socket "$sock" \
+    ATAX/Dy-FUSE GEMM/Dy-FUSE ATAX/L1-SRAM >/dev/null &
+batch_pid=$!
+./target/release/fusesim submit --socket "$sock" \
+    ATAX/Dy-FUSE GEMM/L1-SRAM ATAX/L1-SRAM >/dev/null
+wait "$batch_pid"
+./target/release/fusesim submit --socket "$sock" --shutdown >/dev/null
+wait "$serve_pid"
+rm -rf "$serve_dir"
 
 echo "verify: OK"

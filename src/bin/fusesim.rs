@@ -15,10 +15,18 @@
 //! ([`fuse::sweep::SweepPlan`]); results are identical to serial runs,
 //! only faster.
 
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use fuse::core::config::L1Preset;
-use fuse::runner::{run_workload, RunConfig, RunResult};
+use fuse::runner::{preset_cell_key, run_workload, RunConfig, RunResult};
+use fuse::serve::proto::CellSpec;
+use fuse::serve::{
+    CellBackend, CellKey, CellRecord, ResultCache, Server, ServerConfig, VerifyOutcome,
+};
 use fuse::sweep::SweepPlan;
 use fuse::workloads::{all_workloads, by_name};
 
@@ -34,6 +42,22 @@ USAGE:
                                          fuse-check reference-model oracle (lockstep
                                          grid + seeded fuzzing; exits non-zero on any
                                          divergence)
+    fusesim cache <ACTION> [OPTIONS]     inspect or maintain a result cache
+                                         (--cache-dir). ACTION is one of:
+                                           stats            print entry/byte/hit counters
+                                           verify           re-digest every entry; corrupt
+                                                            ones are quarantined and fail
+                                                            the command
+                                           gc --max-bytes N evict LRU entries over N bytes
+                                           rm <DIGEST>      invalidate one cell by digest
+    fusesim serve [OPTIONS]              serve batched sweep requests over a Unix
+                                         socket (--socket) backed by a result cache
+                                         (--cache-dir); overlapping requests for the
+                                         same cell share one simulation
+    fusesim submit [CELLS] [OPTIONS]     client for `fusesim serve`: send a batch of
+                                         <workload>/<config> cells (or --workloads x
+                                         --configs), --ping, --server-stats, or
+                                         --shutdown
 
 OPTIONS:
     --workload <NAME>    workload name from Table II (default: ATAX)
@@ -72,6 +96,21 @@ OPTIONS:
     --volta              use the Fig. 19 Volta-class machine
     --scale <F>          instruction-budget multiplier (default 1.0)
     --quiet              print only the one-line summary
+    --cache-dir <PATH>   content-addressed result cache (run/compare/sweep/
+                         cache/serve): cells whose key is already recorded
+                         return without simulating; results are bitwise
+                         identical to cold runs. Incompatible with the
+                         profiler/tracer flags — observed runs are never
+                         cached
+    --cache-max-bytes <N> byte budget for --cache-dir; least-recently-used
+                         entries are evicted over budget
+    --max-bytes <N>      target size for `cache gc`
+    --socket <PATH>      Unix socket path (serve/submit)
+    --workers <N>        simulation worker threads (serve; default 2)
+    --queue <N>          bounded job-queue capacity (serve; default 64)
+    --ping               liveness probe (submit)
+    --server-stats       query cache counters (submit)
+    --shutdown           stop the server after in-flight work (submit)
 ";
 
 #[derive(Debug)]
@@ -99,6 +138,18 @@ struct Args {
     seed_base: u64,
     skip_grid: bool,
     repro_dir: String,
+    cache_dir: Option<String>,
+    cache_max_bytes: Option<u64>,
+    max_bytes: Option<u64>,
+    socket: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    ping: bool,
+    server_stats: bool,
+    shutdown: bool,
+    /// Non-flag tokens after the command: the `cache` action (+ digest
+    /// for `rm`) or `submit` cell tokens.
+    positionals: Vec<String>,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -127,6 +178,16 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         seed_base: 0,
         skip_grid: false,
         repro_dir: "tests/repros".to_string(),
+        cache_dir: None,
+        cache_max_bytes: None,
+        max_bytes: None,
+        socket: None,
+        workers: None,
+        queue: None,
+        ping: false,
+        server_stats: false,
+        shutdown: false,
+        positionals: Vec::new(),
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -219,8 +280,51 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     return Err("scale must be positive".to_string());
                 }
             }
+            "--cache-dir" => {
+                args.cache_dir = Some(argv.next().ok_or("--cache-dir needs a value")?);
+            }
+            "--cache-max-bytes" => {
+                let v = argv.next().ok_or("--cache-max-bytes needs a value")?;
+                args.cache_max_bytes =
+                    Some(v.parse().map_err(|_| format!("bad byte budget {v:?}"))?);
+            }
+            "--max-bytes" => {
+                let v = argv.next().ok_or("--max-bytes needs a value")?;
+                args.max_bytes = Some(v.parse().map_err(|_| format!("bad byte target {v:?}"))?);
+            }
+            "--socket" => {
+                args.socket = Some(argv.next().ok_or("--socket needs a value")?);
+            }
+            "--workers" => {
+                let v = argv.next().ok_or("--workers needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                args.workers = Some(n);
+            }
+            "--queue" => {
+                let v = argv.next().ok_or("--queue needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad queue capacity {v:?}"))?;
+                if n == 0 {
+                    return Err("--queue must be at least 1".to_string());
+                }
+                args.queue = Some(n);
+            }
+            "--ping" => args.ping = true,
+            "--server-stats" => args.server_stats = true,
+            "--shutdown" => args.shutdown = true,
+            other if !other.starts_with("--") => {
+                args.positionals.push(other.to_string());
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if !args.positionals.is_empty() && !matches!(args.command.as_str(), "cache" | "submit") {
+        return Err(format!(
+            "unexpected argument {:?} (only `cache` and `submit` take positional arguments)",
+            args.positionals[0]
+        ));
     }
     Ok(args)
 }
@@ -262,7 +366,25 @@ fn run_config(args: &Args) -> Result<RunConfig, String> {
     } else if args.shard_epoch.is_some() {
         return Err("--shard-epoch requires --shards".to_string());
     }
+    if args.cache_dir.is_some() && rc.observed() {
+        return Err(
+            "--cache-dir cannot be combined with --metrics-out/--metrics-window or \
+             --trace-out/--trace-capacity: profiles and traces are not part of a \
+             cached record, so a hit would silently drop them"
+                .to_string(),
+        );
+    }
     Ok(rc)
+}
+
+/// Opens the cache selected by `--cache-dir`/`--cache-max-bytes`, if any.
+fn open_cache(args: &Args) -> Result<Option<Arc<ResultCache>>, String> {
+    match &args.cache_dir {
+        Some(dir) => ResultCache::open(Path::new(dir), args.cache_max_bytes)
+            .map(|c| Some(Arc::new(c)))
+            .map_err(|e| format!("opening cache {dir}: {e}")),
+        None => Ok(None),
+    }
 }
 
 fn print_result(r: &RunResult, quiet: bool) {
@@ -357,7 +479,28 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         .ok_or_else(|| format!("unknown workload {:?} (try `fusesim list`)", args.workload))?;
     let preset = preset_by_name(&args.config)
         .ok_or_else(|| format!("unknown config {:?} (try `fusesim list`)", args.config))?;
-    let r = run_workload(&spec, preset, &run_config(args)?);
+    let rc = run_config(args)?;
+    let r = match open_cache(args)? {
+        Some(cache) => {
+            let key = preset_cell_key(&spec, preset, &rc);
+            match cache.get(&key) {
+                Some(rec) => {
+                    if !args.quiet {
+                        println!("cache hit {} (no simulation run)", key.hex);
+                    }
+                    RunResult::from_record(&rec)
+                }
+                None => {
+                    let r = run_workload(&spec, preset, &rc);
+                    cache
+                        .insert(&key, r.to_record())
+                        .map_err(|e| format!("recording {}: {e}", key.hex))?;
+                    r
+                }
+            }
+        }
+        None => run_workload(&spec, preset, &rc),
+    };
     print_result(&r, args.quiet);
     if let Some(path) = &args.metrics_out {
         let profile = r
@@ -397,6 +540,9 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         .presets(&L1Preset::ALL);
     if let Some(t) = args.threads {
         plan = plan.threads(t);
+    }
+    if let Some(cache) = open_cache(args)? {
+        plan = plan.cache(cache);
     }
     let report = plan.run();
     let mut base = None;
@@ -461,6 +607,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     if let Some(t) = args.threads {
         plan = plan.threads(t);
     }
+    if let Some(cache) = open_cache(args)? {
+        plan = plan.cache(cache);
+    }
     let report = plan.run();
 
     print!("{:<10}", "workload");
@@ -476,6 +625,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         println!();
     }
     println!("{}", report.timing_summary());
+    if let (Some(h), Some(m)) = (report.cache_hits, report.cache_misses) {
+        println!("cache: {h} hit(s), {m} miss(es)");
+    }
     if let Some(path) = &args.json {
         report
             .write_json(std::path::Path::new(path))
@@ -613,6 +765,183 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `fusesim cache <stats|verify|gc|rm>` — inspect and maintain a
+/// `--cache-dir` without running any simulation.
+fn cmd_cache(args: &Args) -> Result<(), String> {
+    let cache = open_cache(args)?.ok_or("cache needs --cache-dir")?;
+    let action = args
+        .positionals
+        .first()
+        .map(String::as_str)
+        .unwrap_or("stats");
+    match action {
+        "stats" => {
+            let s = cache.stats();
+            println!(
+                "entries {}  bytes {}  hits {}  misses {}  inserts {}  evictions {}  quarantined {}",
+                s.entries, s.bytes, s.hits, s.misses, s.inserts, s.evictions, s.quarantined
+            );
+            Ok(())
+        }
+        "verify" => {
+            let outcomes = cache.verify();
+            let mut corrupt = 0usize;
+            for o in &outcomes {
+                match o {
+                    VerifyOutcome::Ok { digest } => {
+                        if !args.quiet {
+                            println!("  ok      {digest}");
+                        }
+                    }
+                    VerifyOutcome::Corrupt { digest, reason } => {
+                        corrupt += 1;
+                        println!("  CORRUPT {digest}: {reason} (quarantined)");
+                    }
+                }
+            }
+            println!("{} entries verified, {corrupt} corrupt", outcomes.len());
+            if corrupt > 0 {
+                Err(format!("{corrupt} corrupt entr(ies) quarantined"))
+            } else {
+                Ok(())
+            }
+        }
+        "gc" => {
+            let target = args.max_bytes.ok_or("cache gc needs --max-bytes")?;
+            let evicted = cache.gc(target);
+            let s = cache.stats();
+            println!(
+                "evicted {evicted} entr(ies); {} entries, {} bytes remain",
+                s.entries, s.bytes
+            );
+            Ok(())
+        }
+        "rm" => {
+            let digest = args
+                .positionals
+                .get(1)
+                .ok_or("cache rm needs a digest (see `cache verify` output)")?;
+            if cache.remove(digest) {
+                println!("removed {digest}");
+                Ok(())
+            } else {
+                Err(format!("no entry {digest}"))
+            }
+        }
+        other => Err(format!(
+            "unknown cache action {other:?} (expected stats, verify, gc or rm)"
+        )),
+    }
+}
+
+/// The server side of the backend seam: keys and simulations resolved
+/// through the same [`RunConfig`] every other command uses, so a cell
+/// served over the socket is bit-identical to one run locally.
+struct CliBackend {
+    rc: RunConfig,
+}
+
+impl CellBackend for CliBackend {
+    fn key(&self, spec: &CellSpec) -> Result<CellKey, String> {
+        let w = by_name(&spec.workload)
+            .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
+        let p = preset_by_name(&spec.config)
+            .ok_or_else(|| format!("unknown config {:?}", spec.config))?;
+        Ok(preset_cell_key(&w, p, &self.rc))
+    }
+
+    fn simulate(&self, spec: &CellSpec) -> Result<CellRecord, String> {
+        let w = by_name(&spec.workload)
+            .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
+        let p = preset_by_name(&spec.config)
+            .ok_or_else(|| format!("unknown config {:?}", spec.config))?;
+        Ok(run_workload(&w, p, &self.rc).to_record())
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let socket = args.socket.as_deref().ok_or("serve needs --socket")?;
+    let cache = open_cache(args)?.ok_or("serve needs --cache-dir")?;
+    let rc = run_config(args)?;
+    let config = ServerConfig {
+        workers: args.workers.unwrap_or(2),
+        queue_capacity: args.queue.unwrap_or(64),
+    };
+    let server = Server::new(Arc::new(CliBackend { rc }), cache, config);
+    println!(
+        "serving on {socket} ({} workers, queue {}); stop with `fusesim submit --socket {socket} --shutdown`",
+        config.workers, config.queue_capacity
+    );
+    server
+        .serve_unix(Path::new(socket))
+        .map_err(|e| format!("serving {socket}: {e}"))?;
+    server.join();
+    let s = server.cache().stats();
+    println!(
+        "served: {} hits, {} misses, {} coalesced; cache holds {} entries",
+        s.hits,
+        s.misses,
+        server.coalesced(),
+        s.entries
+    );
+    Ok(())
+}
+
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let socket = args.socket.as_deref().ok_or("submit needs --socket")?;
+    let request = if args.ping {
+        "PING".to_string()
+    } else if args.server_stats {
+        "STATS".to_string()
+    } else if args.shutdown {
+        "SHUTDOWN".to_string()
+    } else {
+        let cells: Vec<String> = if args.positionals.is_empty() {
+            let workloads = parse_sweep_workloads(&args.workloads)?;
+            let presets = parse_sweep_presets(&args.configs)?;
+            workloads
+                .iter()
+                .flat_map(|w| presets.iter().map(|p| format!("{}/{}", w.name, p.name())))
+                .collect()
+        } else {
+            for c in &args.positionals {
+                CellSpec::parse(c)?; // fail fast, before the round trip
+            }
+            args.positionals.clone()
+        };
+        format!("SWEEP {}", cells.join(" "))
+    };
+    let mut conn =
+        UnixStream::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))?;
+    let reader = BufReader::new(
+        conn.try_clone()
+            .map_err(|e| format!("cloning socket: {e}"))?,
+    );
+    writeln!(conn, "{request}").map_err(|e| format!("sending request: {e}"))?;
+    conn.flush().map_err(|e| format!("sending request: {e}"))?;
+    let mut errors = 0usize;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("reading response: {e}"))?;
+        println!("{line}");
+        if line.starts_with("ERR") {
+            errors += 1;
+        }
+        let terminal = line.starts_with("DONE")
+            || line == "PONG"
+            || line == "BYE"
+            || line.starts_with("STATS")
+            || line.starts_with("ERR - ");
+        if terminal {
+            break;
+        }
+    }
+    if errors > 0 {
+        Err(format!("{errors} cell(s) failed"))
+    } else {
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -630,6 +959,9 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&args),
         "sweep" => cmd_sweep(&args),
         "check" => cmd_check(&args),
+        "cache" => cmd_cache(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
         _ => {
             println!("{USAGE}");
             Ok(())
@@ -801,6 +1133,99 @@ mod tests {
             let e = run_config(&a).unwrap_err();
             assert!(e.contains("--shards"), "got {e:?}");
         }
+    }
+
+    #[test]
+    fn parses_cache_flags_and_actions() {
+        let a = args(&["cache", "stats", "--cache-dir", "/tmp/c"]).unwrap();
+        assert_eq!(a.command, "cache");
+        assert_eq!(a.positionals, vec!["stats"]);
+        assert_eq!(a.cache_dir.as_deref(), Some("/tmp/c"));
+
+        let a = args(&[
+            "cache",
+            "gc",
+            "--cache-dir",
+            "/tmp/c",
+            "--max-bytes",
+            "1000",
+        ])
+        .unwrap();
+        assert_eq!(a.positionals, vec!["gc"]);
+        assert_eq!(a.max_bytes, Some(1000));
+
+        let a = args(&["cache", "rm", "deadbeef", "--cache-dir", "/tmp/c"]).unwrap();
+        assert_eq!(a.positionals, vec!["rm", "deadbeef"]);
+
+        let a = args(&[
+            "sweep",
+            "--cache-dir",
+            "/tmp/c",
+            "--cache-max-bytes",
+            "4096",
+        ])
+        .unwrap();
+        assert_eq!(a.cache_max_bytes, Some(4096));
+        assert!(run_config(&a).is_ok());
+    }
+
+    #[test]
+    fn cache_refuses_the_profiler_and_tracer() {
+        for observer in [
+            &["run", "--cache-dir", "/tmp/c", "--metrics-out", "m.json"][..],
+            &["run", "--cache-dir", "/tmp/c", "--trace-out", "t.json"][..],
+            &["sweep", "--cache-dir", "/tmp/c", "--metrics-window", "512"][..],
+            &["run", "--cache-dir", "/tmp/c", "--trace-capacity", "16"][..],
+        ] {
+            let a = args(observer).unwrap();
+            let e = run_config(&a).unwrap_err();
+            assert!(e.contains("--cache-dir"), "got {e:?}");
+        }
+        // Sharded runs ARE cacheable (the key covers the engine choice).
+        let a = args(&["run", "--cache-dir", "/tmp/c", "--shards", "2"]).unwrap();
+        assert!(run_config(&a).is_ok());
+    }
+
+    #[test]
+    fn parses_serve_and_submit_flags() {
+        let a = args(&[
+            "serve",
+            "--socket",
+            "/tmp/f.sock",
+            "--cache-dir",
+            "/tmp/c",
+            "--workers",
+            "4",
+            "--queue",
+            "128",
+        ])
+        .unwrap();
+        assert_eq!(a.socket.as_deref(), Some("/tmp/f.sock"));
+        assert_eq!(a.workers, Some(4));
+        assert_eq!(a.queue, Some(128));
+
+        let a = args(&[
+            "submit",
+            "ATAX/Dy-FUSE",
+            "GEMM/L1-SRAM",
+            "--socket",
+            "/tmp/f.sock",
+        ])
+        .unwrap();
+        assert_eq!(a.positionals, vec!["ATAX/Dy-FUSE", "GEMM/L1-SRAM"]);
+
+        let a = args(&["submit", "--socket", "/tmp/f.sock", "--shutdown"]).unwrap();
+        assert!(a.shutdown && !a.ping && !a.server_stats);
+
+        assert!(args(&["serve", "--workers", "0"]).is_err());
+        assert!(args(&["serve", "--queue", "0"]).is_err());
+    }
+
+    #[test]
+    fn positionals_are_rejected_outside_cache_and_submit() {
+        let e = args(&["run", "stray"]).unwrap_err();
+        assert!(e.contains("positional"), "got {e:?}");
+        assert!(args(&["sweep", "ATAX/Dy-FUSE"]).is_err());
     }
 
     #[test]

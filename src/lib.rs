@@ -21,7 +21,9 @@
 //! * [`workloads`] ([`fuse_workloads`]) — the 21 calibrated synthetic
 //!   benchmarks of Table II;
 //! * [`check`] ([`fuse_check`]) — the lockstep reference-model oracle,
-//!   differential fuzzer and trace shrinker behind `fusesim check`.
+//!   differential fuzzer and trace shrinker behind `fusesim check`;
+//! * [`serve`] ([`fuse_serve`]) — the content-addressed result cache and
+//!   the batch simulation service behind `fusesim serve` (DESIGN.md §3h).
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,7 @@ pub use fuse_gpu as gpu;
 pub use fuse_mem as mem;
 pub use fuse_obs as obs;
 pub use fuse_predict as predict;
+pub use fuse_serve as serve;
 pub use fuse_workloads as workloads;
 
 pub mod runner;

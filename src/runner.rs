@@ -15,6 +15,8 @@ use fuse_mem::energy::{EnergyBreakdown, EnergyParams};
 use fuse_mem::tech::BankParams;
 use fuse_obs::profile::ProfileReport;
 use fuse_obs::trace::TraceRing;
+use fuse_serve::key::{CellKey, KeyParts, L1Column};
+use fuse_serve::record::CellRecord;
 use fuse_workloads::spec::WorkloadSpec;
 
 /// Simulation budget and machine selection for one run.
@@ -98,8 +100,18 @@ impl RunConfig {
         }
     }
 
-    fn ops_for(&self, spec: &WorkloadSpec) -> usize {
+    /// The resolved warp-instruction budget for `spec` — the number the
+    /// generators actually receive (public because it is part of the
+    /// result-cache key; see [`preset_cell_key`]).
+    pub fn ops_for(&self, spec: &WorkloadSpec) -> usize {
         ((spec.ops_per_warp as f64 * self.ops_scale).round() as usize).max(8)
+    }
+
+    /// True when an observer (profiler or tracer) is attached. Observed
+    /// runs carry payloads a [`CellRecord`] cannot represent, so cache
+    /// layers bypass for them.
+    pub fn observed(&self) -> bool {
+        self.metrics_window.is_some() || self.trace_capacity.is_some()
     }
 
     /// The sharding request, if any: strict with [`RunConfig::shards`]
@@ -164,6 +176,81 @@ impl RunResult {
     pub fn outgoing_requests(&self) -> u64 {
         self.sim.outgoing_requests
     }
+
+    /// The cacheable projection of this result: everything except the
+    /// observer payloads (`profile`/`trace`), which cache layers refuse
+    /// to serve anyway ([`RunConfig::observed`]).
+    pub fn to_record(&self) -> CellRecord {
+        CellRecord {
+            workload: self.workload.clone(),
+            config: self.config.clone(),
+            sim: self.sim,
+            metrics: self.metrics,
+            energy: self.energy,
+            skipped_cycles: self.skipped_cycles,
+        }
+    }
+
+    /// Rehydrates a result from a cached record. `profile` and `trace`
+    /// are `None`: observed runs are never cached.
+    pub fn from_record(rec: &CellRecord) -> RunResult {
+        RunResult {
+            workload: rec.workload.clone(),
+            config: rec.config.clone(),
+            sim: rec.sim,
+            metrics: rec.metrics,
+            energy: rec.energy,
+            skipped_cycles: rec.skipped_cycles,
+            profile: None,
+            trace: None,
+        }
+    }
+}
+
+/// Content key for (`spec` on preset `preset` under `rc`) — see
+/// [`fuse_serve::key`] for the invalidation contract. Oracle has no
+/// finite configuration, so its column keys on the engine version alone.
+pub fn preset_cell_key(spec: &WorkloadSpec, preset: L1Preset, rc: &RunConfig) -> CellKey {
+    let cfg = (preset != L1Preset::Oracle).then(|| preset.config());
+    cell_key(
+        spec,
+        L1Column::Preset {
+            name: preset.name(),
+            config: cfg.as_ref(),
+        },
+        rc,
+    )
+}
+
+/// Content key for (`spec` on the custom configuration `cfg` named
+/// `config_name` under `rc`).
+pub fn custom_cell_key(
+    spec: &WorkloadSpec,
+    config_name: &str,
+    cfg: &L1Config,
+    rc: &RunConfig,
+) -> CellKey {
+    cell_key(
+        spec,
+        L1Column::Custom {
+            name: config_name,
+            config: cfg,
+        },
+        rc,
+    )
+}
+
+fn cell_key(spec: &WorkloadSpec, l1: L1Column<'_>, rc: &RunConfig) -> CellKey {
+    CellKey::derive(&KeyParts {
+        workload: spec,
+        l1,
+        gpu: &rc.gpu,
+        ops_per_warp: rc.ops_for(spec),
+        max_cycles: rc.max_cycles,
+        skip: rc.skip,
+        shards: rc.shards,
+        shard_epoch: rc.shard_epoch,
+    })
 }
 
 fn collect(
@@ -417,6 +504,66 @@ mod tests {
             relaxed.sim.instructions, serial.sim.instructions,
             "relaxed mode still retires every instruction"
         );
+    }
+
+    #[test]
+    fn record_round_trip_preserves_the_result() {
+        let w = by_name("ATAX").unwrap();
+        let r = run_workload(&w, L1Preset::DyFuse, &RunConfig::smoke());
+        let back = RunResult::from_record(&r.to_record());
+        assert_eq!(r.sim, back.sim);
+        assert_eq!(r.metrics, back.metrics);
+        assert_eq!(r.energy, back.energy);
+        assert_eq!(r.skipped_cycles, back.skipped_cycles);
+        assert_eq!(r.workload, back.workload);
+        assert_eq!(r.config, back.config);
+        assert!(back.profile.is_none() && back.trace.is_none());
+    }
+
+    #[test]
+    fn cell_keys_separate_every_grid_axis() {
+        let w = by_name("ATAX").unwrap();
+        let rc = RunConfig::smoke();
+        let base = preset_cell_key(&w, L1Preset::DyFuse, &rc);
+        assert_eq!(
+            base,
+            preset_cell_key(&w, L1Preset::DyFuse, &rc),
+            "same inputs, same key"
+        );
+        let other_preset = preset_cell_key(&w, L1Preset::L1Sram, &rc);
+        let other_workload = preset_cell_key(&by_name("GEMM").unwrap(), L1Preset::DyFuse, &rc);
+        let other_budget = preset_cell_key(
+            &w,
+            L1Preset::DyFuse,
+            &RunConfig {
+                ops_scale: 0.5,
+                ..RunConfig::smoke()
+            },
+        );
+        let tick_engine = preset_cell_key(
+            &w,
+            L1Preset::DyFuse,
+            &RunConfig {
+                skip: false,
+                ..RunConfig::smoke()
+            },
+        );
+        let keys = [
+            &base,
+            &other_preset,
+            &other_workload,
+            &other_budget,
+            &tick_engine,
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a.hex, b.hex, "axes must not collide");
+            }
+        }
+        // Oracle derives a key without panicking despite having no
+        // finite configuration.
+        let oracle = preset_cell_key(&w, L1Preset::Oracle, &rc);
+        assert!(oracle.text.contains("l1.config=unbounded"));
     }
 
     #[test]

@@ -36,13 +36,18 @@
 //! ```
 
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use fuse_core::config::{L1Config, L1Preset};
+use fuse_serve::key::CellKey;
+use fuse_serve::store::ResultCache;
 use fuse_workloads::spec::WorkloadSpec;
 
-use crate::runner::{run_l1_config, run_workload, RunConfig, RunResult};
+use crate::runner::{
+    custom_cell_key, preset_cell_key, run_l1_config, run_workload, RunConfig, RunResult,
+};
 
 /// One L1D column of the sweep grid.
 // `Custom` carries a full `L1Config` inline; a plan holds a handful of
@@ -76,6 +81,13 @@ impl SweepConfig {
             SweepConfig::Custom { name, config } => run_l1_config(spec, config, name, rc),
         }
     }
+
+    fn key(&self, spec: &WorkloadSpec, rc: &RunConfig) -> CellKey {
+        match self {
+            SweepConfig::Preset(p) => preset_cell_key(spec, *p, rc),
+            SweepConfig::Custom { name, config } => custom_cell_key(spec, name, config, rc),
+        }
+    }
 }
 
 /// A (workload × L1 configuration) grid awaiting execution.
@@ -91,6 +103,11 @@ pub struct SweepPlan {
     pub run_config: RunConfig,
     /// Worker threads; `None` uses the host's available parallelism.
     pub threads: Option<usize>,
+    /// Content-addressed result cache ([`SweepPlan::cache`]); hit cells
+    /// return their recorded results without touching the engine.
+    /// Ignored — with `None` counters in the report — when an observer
+    /// is attached, since profiles and traces are not cacheable.
+    pub cache: Option<Arc<ResultCache>>,
 }
 
 impl SweepPlan {
@@ -102,6 +119,7 @@ impl SweepPlan {
             configs: Vec::new(),
             run_config,
             threads: None,
+            cache: None,
         }
     }
 
@@ -130,6 +148,18 @@ impl SweepPlan {
     /// Pins the worker-pool size (default: available parallelism).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Attaches a content-addressed result cache (`fusesim sweep
+    /// --cache-dir`): cells whose [`CellKey`] is already recorded return
+    /// without simulating, so an incremental sweep re-runs only
+    /// invalidated cells. Cached results are bitwise identical to cold
+    /// ones ([`SweepReport::stats_json`] does not change), and the report
+    /// gains hit/miss counters. Plans with an observer attached
+    /// ([`RunConfig::observed`]) bypass the cache entirely.
+    pub fn cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -206,10 +236,18 @@ impl SweepPlan {
         let cols = self.configs.len().max(1);
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<SweepCell>> = (0..n).map(|_| None).collect();
+        // Observed runs carry profile/trace payloads a cache record
+        // cannot represent, so an attached observer disables the cache.
+        let cache = self
+            .cache
+            .as_deref()
+            .filter(|_| !self.run_config.observed());
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
 
         if threads <= 1 {
             for (i, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(self.run_cell(i / cols, i % cols));
+                *slot = Some(self.run_cell(i / cols, i % cols, cache, &hits, &misses));
             }
         } else {
             // Scoped worker pool: each worker claims the next unclaimed
@@ -227,7 +265,10 @@ impl SweepPlan {
                                 if i >= n {
                                     break;
                                 }
-                                local.push((i, self.run_cell(i / cols, i % cols)));
+                                local.push((
+                                    i,
+                                    self.run_cell(i / cols, i % cols, cache, &hits, &misses),
+                                ));
                             }
                             local
                         })
@@ -258,11 +299,40 @@ impl SweepPlan {
                 .map(|c| c.expect("every cell executed"))
                 .collect(),
             wall_ns: t0.elapsed().as_nanos() as u64,
+            cache_hits: cache.map(|_| hits.load(Ordering::Relaxed)),
+            cache_misses: cache.map(|_| misses.load(Ordering::Relaxed)),
         }
     }
 
-    fn run_cell(&self, wi: usize, ci: usize) -> SweepCell {
+    fn run_cell(
+        &self,
+        wi: usize,
+        ci: usize,
+        cache: Option<&ResultCache>,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+    ) -> SweepCell {
         let t = Instant::now();
+        if let Some(cache) = cache {
+            let key = self.configs[ci].key(&self.workloads[wi], &self.run_config);
+            if let Some(rec) = cache.get(&key) {
+                hits.fetch_add(1, Ordering::Relaxed);
+                return SweepCell {
+                    result: RunResult::from_record(&rec),
+                    wall_ns: t.elapsed().as_nanos() as u64,
+                    allocs_per_kcycle: None,
+                };
+            }
+            let result = self.configs[ci].run(&self.workloads[wi], &self.run_config);
+            // A failed persist only loses warmth, never the result.
+            let _ = cache.insert(&key, result.to_record());
+            misses.fetch_add(1, Ordering::Relaxed);
+            return SweepCell {
+                result,
+                wall_ns: t.elapsed().as_nanos() as u64,
+                allocs_per_kcycle: None,
+            };
+        }
         let result = self.configs[ci].run(&self.workloads[wi], &self.run_config);
         SweepCell {
             result,
@@ -332,6 +402,12 @@ pub struct SweepReport {
     pub cells: Vec<SweepCell>,
     /// Whole-sweep wall time.
     pub wall_ns: u64,
+    /// Cells answered by the result cache; `None` when no cache was
+    /// active (not attached, or bypassed for an observed run).
+    pub cache_hits: Option<u64>,
+    /// Cells simulated and inserted into the cache; `None` iff
+    /// `cache_hits` is.
+    pub cache_misses: Option<u64>,
 }
 
 impl SweepReport {
@@ -409,6 +485,10 @@ impl SweepReport {
         let sharding = match (self.shards, self.epoch_cycles) {
             (Some(n), Some(w)) => format!("\"shards\":{n},\"epoch_cycles\":{w},"),
             _ => String::new(),
+        };
+        let sharding = match (self.cache_hits, self.cache_misses) {
+            (Some(h), Some(m)) => format!("{sharding}\"cache_hits\":{h},\"cache_misses\":{m},"),
+            _ => sharding,
         };
         s.push_str(&format!(
             "{{\"name\":{},\"engine\":{},\"threads\":{},{}\"grid\":[{},{}],\"wall_ms\":{},\
@@ -525,7 +605,7 @@ impl SweepReport {
             }
         }
         entries.push(self.to_json());
-        let mut out = String::from("{\"schema\":\"fuse-sweep-v5\",\"sweeps\":[\n");
+        let mut out = String::from("{\"schema\":\"fuse-sweep-v6\",\"sweeps\":[\n");
         out.push_str(&entries.join(",\n"));
         out.push_str("\n]}\n");
         std::fs::write(path, out)
@@ -628,7 +708,7 @@ mod tests {
         let content = std::fs::read_to_string(&path).expect("readable");
         assert_eq!(content.matches("{\"name\":\"unit\"").count(), 1);
         assert_eq!(content.matches("{\"name\":\"other\"").count(), 1);
-        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v5\""));
+        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v6\""));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -765,6 +845,78 @@ mod tests {
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
         assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
+    }
+
+    fn tmp_cache(tag: &str) -> (std::path::PathBuf, Arc<ResultCache>) {
+        let dir = std::env::temp_dir().join(format!(
+            "fuse_sweep_cache_test_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Arc::new(ResultCache::open(&dir, None).expect("cache opens"));
+        (dir, cache)
+    }
+
+    #[test]
+    fn warm_sweep_is_all_hits_and_byte_identical() {
+        let (dir, cache) = tmp_cache("warm");
+        let cold = tiny_plan().cache(cache.clone()).run();
+        assert_eq!(cold.cache_hits, Some(0));
+        assert_eq!(cold.cache_misses, Some(4));
+        assert!(cold
+            .to_json()
+            .contains("\"cache_hits\":0,\"cache_misses\":4,"));
+
+        let warm = tiny_plan().cache(cache.clone()).run();
+        assert_eq!(warm.cache_hits, Some(4), "every cell served from cache");
+        assert_eq!(warm.cache_misses, Some(0));
+        assert_eq!(
+            cold.stats_json(),
+            warm.stats_json(),
+            "cached results must be byte-identical to cold ones"
+        );
+        for (c, w) in cold.cells.iter().zip(warm.cells.iter()) {
+            assert_eq!(c.result.sim, w.result.sim);
+            assert_eq!(c.result.metrics, w.result.metrics);
+            assert_eq!(c.result.energy, w.result.energy);
+        }
+
+        // A second process (fresh cache handle on the same dir) stays warm.
+        let reopened = Arc::new(ResultCache::open(&dir, None).expect("reopen"));
+        let warm2 = tiny_plan().cache(reopened).run();
+        assert_eq!(warm2.cache_hits, Some(4));
+        assert_eq!(cold.stats_json(), warm2.stats_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_sweep_recomputes_only_invalidated_cells() {
+        let (dir, cache) = tmp_cache("incr");
+        let cold = tiny_plan().cache(cache.clone()).run();
+        assert_eq!(cold.cache_misses, Some(4));
+        // Invalidate exactly one cell.
+        let key = super::SweepConfig::Preset(L1Preset::DyFuse)
+            .key(&by_name("ATAX").unwrap(), &RunConfig::smoke());
+        assert!(cache.remove(&key.hex), "cold run cached this cell");
+        let incr = tiny_plan().cache(cache).run();
+        assert_eq!(incr.cache_hits, Some(3));
+        assert_eq!(incr.cache_misses, Some(1), "only the removed cell re-ran");
+        assert_eq!(cold.stats_json(), incr.stats_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observed_plans_bypass_the_cache() {
+        let (dir, cache) = tmp_cache("obs");
+        let profiled = tiny_plan().cache(cache.clone()).metrics_window(2048).run();
+        assert_eq!(profiled.cache_hits, None, "observer disables the cache");
+        assert_eq!(cache.stats().entries, 0, "nothing was recorded");
+        assert!(!profiled.to_json().contains("cache_hits"));
+        assert!(
+            profiled.cells.iter().all(|c| c.result.profile.is_some()),
+            "the observer still ran"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
