@@ -52,6 +52,7 @@ use crate::l1d::{L1Response, OutgoingReq};
 use crate::sm::Sm;
 use crate::stats::SimStats;
 use crate::system::GpuSystem;
+use crate::wheel::NEVER;
 
 /// How shard workers synchronize with the shared memory stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,11 +212,16 @@ fn wait_round(flag: &AtomicU64, round: u64) {
     }
 }
 
-fn worker_loop(mut sms: Vec<Sm>, port: Arc<ShardPort>) -> Vec<Sm> {
+fn worker_loop(mut sms: Vec<Sm>, port: Arc<ShardPort>, active: bool) -> Vec<Sm> {
     let mut round = 0u64;
     let mut inbox: Vec<ShardRsp> = Vec::new();
     let mut outbox: Vec<ShardReq> = Vec::new();
     let mut scratch: Vec<OutgoingReq> = Vec::new();
+    // Shard-local half of the active-set wake registry (DESIGN.md §3i):
+    // `wake[li]` is owned SM `li`'s registered next event, refreshed
+    // after each of its ticks and forced due on every delivered fill.
+    // Allocated once at worker start; unread when active-set is off.
+    let mut wake: Vec<u64> = vec![0; sms.len()];
     loop {
         round += 1;
         wait_round(&port.go, round);
@@ -241,30 +247,47 @@ fn worker_loop(mut sms: Vec<Sm>, port: Arc<ShardPort>) -> Vec<Sm> {
                     }
                 }
                 for r in inbox.drain(..) {
+                    wake[r.sm_local as usize] = 0;
                     sms[r.sm_local as usize].push_response(rsp_now, r.rsp);
                 }
-                tick_and_record(&mut sms, now, &mut scratch, &mut outbox);
-                publish(&port, round, &mut outbox, &sms, now + 1);
+                tick_and_record(&mut sms, now, &mut scratch, &mut outbox, active, &mut wake);
+                publish(&port, round, &mut outbox, &sms, now + 1, active, &wake);
             }
             ShardCmd::Epoch { start, end } => {
                 for r in inbox.drain(..) {
+                    wake[r.sm_local as usize] = 0;
                     sms[r.sm_local as usize].push_response(start, r.rsp);
                 }
                 let mut c = start;
                 while c < end {
                     // Intra-window skipping over this shard's SMs only;
                     // nothing external arrives mid-window, so the local
-                    // event horizon is the true one.
+                    // event horizon is the true one. The wake cache is
+                    // exact for it: an SM's state only changes in its own
+                    // ticks (which refresh the entry) and at the
+                    // delivery above (which forced the entry due).
                     let mut earliest = u64::MAX;
                     let mut due = false;
-                    for sm in &sms {
-                        match sm.next_event(c) {
-                            Some(t) if t <= c => {
+                    if active {
+                        for &w in &wake {
+                            if w <= c {
                                 due = true;
                                 break;
                             }
-                            Some(t) => earliest = earliest.min(t),
-                            None => {}
+                            if w != NEVER {
+                                earliest = earliest.min(w);
+                            }
+                        }
+                    } else {
+                        for sm in &sms {
+                            match sm.next_event(c) {
+                                Some(t) if t <= c => {
+                                    due = true;
+                                    break;
+                                }
+                                Some(t) => earliest = earliest.min(t),
+                                None => {}
+                            }
                         }
                     }
                     if !due {
@@ -275,10 +298,10 @@ fn worker_loop(mut sms: Vec<Sm>, port: Arc<ShardPort>) -> Vec<Sm> {
                         c = target;
                         continue;
                     }
-                    tick_and_record(&mut sms, c, &mut scratch, &mut outbox);
+                    tick_and_record(&mut sms, c, &mut scratch, &mut outbox, active, &mut wake);
                     c += 1;
                 }
-                publish(&port, round, &mut outbox, &sms, end);
+                publish(&port, round, &mut outbox, &sms, end, active, &wake);
             }
             ShardCmd::Flush { skip, rsp_now } => {
                 if skip > 0 {
@@ -287,6 +310,7 @@ fn worker_loop(mut sms: Vec<Sm>, port: Arc<ShardPort>) -> Vec<Sm> {
                     }
                 }
                 for r in inbox.drain(..) {
+                    wake[r.sm_local as usize] = 0;
                     sms[r.sm_local as usize].push_response(rsp_now, r.rsp);
                 }
                 // Publish the post-delivery done flag and horizon (the
@@ -294,25 +318,33 @@ fn worker_loop(mut sms: Vec<Sm>, port: Arc<ShardPort>) -> Vec<Sm> {
                 // with a flush when a delivery may have been the run's
                 // last work, exactly as the serial engine sees `is_done`
                 // flip within the delivering cycle.
-                publish(&port, round, &mut outbox, &sms, rsp_now + 1);
+                publish(&port, round, &mut outbox, &sms, rsp_now + 1, active, &wake);
             }
             ShardCmd::Idle => unreachable!("round released without a command"),
         }
     }
 }
 
-/// Ticks every SM at `now` and appends its freshly drained outgoing
-/// requests to `outbox`, tagged with the cycle and the shard-local SM
-/// index. Per-SM tick-then-drain matches the serial engine's phase
-/// ordering (SMs never interact directly, so interleaving across SMs is
-/// unobservable).
+/// Ticks every *due* SM at `now` (with active-set scheduling off, every
+/// SM) and appends its freshly drained outgoing requests to `outbox`,
+/// tagged with the cycle and the shard-local SM index. Non-due SMs are
+/// credited one idle/stall cycle — bitwise-equivalent to the dead tick
+/// they would have received. Per-SM tick-then-drain matches the serial
+/// engine's phase ordering (SMs never interact directly, so interleaving
+/// across SMs is unobservable).
 fn tick_and_record(
     sms: &mut [Sm],
     now: u64,
     scratch: &mut Vec<OutgoingReq>,
     out: &mut Vec<ShardReq>,
+    active: bool,
+    wake: &mut [u64],
 ) {
     for (li, sm) in sms.iter_mut().enumerate() {
+        if active && wake[li] > now {
+            sm.advance_idle(1);
+            continue;
+        }
         sm.tick(now);
         scratch.clear();
         sm.drain_outgoing(scratch);
@@ -323,18 +355,50 @@ fn tick_and_record(
                 req,
             });
         }
+        if active {
+            // After the drain, as in the serial engine: an undrained
+            // request would pin `next_event` to the present. As there,
+            // the scan is only paid on the cycle an SM goes quiet.
+            wake[li] = if sm.ticked_bubble() {
+                sm.next_event(now + 1).unwrap_or(NEVER)
+            } else {
+                now + 1
+            };
+        }
     }
 }
 
 /// Publishes the round's outbox plus the shard's post-tick event horizon
-/// (earliest `Sm::next_event` at `at`) and done flag, then acks.
-fn publish(port: &ShardPort, round: u64, outbox: &mut Vec<ShardReq>, sms: &[Sm], at: u64) {
+/// (earliest `Sm::next_event` at `at`) and done flag, then acks. With
+/// active-set scheduling on, the horizon comes from the wake cache —
+/// O(SMs) array loads instead of O(SMs × warps) `next_event` scans; the
+/// entries are exact for unticked SMs and clamped to `at` for freshly
+/// delivered ones.
+fn publish(
+    port: &ShardPort,
+    round: u64,
+    outbox: &mut Vec<ShardReq>,
+    sms: &[Sm],
+    at: u64,
+    active: bool,
+    wake: &[u64],
+) {
     let mut next: Option<u64> = None;
     let mut done = true;
-    for sm in sms {
-        done &= sm.done();
-        if let Some(t) = sm.next_event(at) {
-            next = Some(next.map_or(t, |n: u64| n.min(t)));
+    if active {
+        for (sm, &w) in sms.iter().zip(wake) {
+            done &= sm.done();
+            if w != NEVER {
+                let t = w.max(at);
+                next = Some(next.map_or(t, |n: u64| n.min(t)));
+            }
+        }
+    } else {
+        for sm in sms {
+            done &= sm.done();
+            if let Some(t) = sm.next_event(at) {
+                next = Some(next.map_or(t, |n: u64| n.min(t)));
+            }
         }
     }
     {
@@ -418,6 +482,7 @@ impl<'a> ShardedEngine<'a> {
         chunks.reverse();
 
         let ports: Vec<Arc<ShardPort>> = (0..shards).map(|_| Arc::new(ShardPort::new())).collect();
+        let active = sys.active_set_enabled();
         let workers = chunks
             .into_iter()
             .zip(&ports)
@@ -426,7 +491,7 @@ impl<'a> ShardedEngine<'a> {
                 let port = Arc::clone(port);
                 std::thread::Builder::new()
                     .name(format!("fuse-shard-{k}"))
-                    .spawn(move || worker_loop(chunk, port))
+                    .spawn(move || worker_loop(chunk, port, active))
                     .expect("spawn shard worker")
             })
             .collect();
@@ -799,6 +864,18 @@ mod tests {
         let mut b = build(3);
         b.set_cycle_skipping(false);
         let got = b.run_sharded(1_000_000, &ShardConfig::strict(3));
+        assert_eq!(got, serial);
+    }
+
+    #[test]
+    fn strict_matches_serial_with_active_set_off() {
+        // The active-set default is exercised by every other test here;
+        // pin the opt-out corner: workers fall back to scanning
+        // `next_event` and ticking every SM, stats still bitwise.
+        let serial = build(4).run(1_000_000);
+        let mut sys = build(4);
+        sys.set_active_set(false);
+        let got = sys.run_sharded(1_000_000, &ShardConfig::strict(2));
         assert_eq!(got, serial);
     }
 

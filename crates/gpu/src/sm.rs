@@ -92,6 +92,13 @@ pub struct Sm {
     /// Warps with outstanding loads. With `lsu_warp` this makes the
     /// issue-bubble classification (mem stall vs idle) O(1).
     waiting_warps: usize,
+    /// Whether the most recent tick ended in an issue bubble (nothing
+    /// issued, no LSU replay). The active-set scheduler's wake
+    /// registration (DESIGN.md §3i) reads this: a non-bubble tick means
+    /// the SM acted this cycle and `now + 1` is a safe conservative
+    /// wake, so the full [`Sm::next_event`] scan is only paid on the
+    /// busy→stalled transition cycle.
+    bubble: bool,
     /// Activated, unfinished warps with no outstanding loads — the Phase B
     /// candidate pool (busy-on-compute warps included). Zero lets the
     /// issue stage skip the Phase B scan.
@@ -161,6 +168,7 @@ impl Sm {
             live: n as u64,
             lsu_warp: None,
             waiting_warps: 0,
+            bubble: false,
             ready_warps: warp_limit.min(n),
             finished_warps: 0,
             wake_at: vec![0; n],
@@ -229,6 +237,16 @@ impl Sm {
         self.lsu_warp.is_some()
     }
 
+    /// Whether the most recent tick issued nothing (and held no LSU
+    /// replay). Read by the active-set wake registration: after a
+    /// non-bubble tick the SM may act again next cycle, so `now + 1` is
+    /// registered without a scan; after a bubble the precise
+    /// [`Sm::next_event`] answer is worth its O(warps) cost because it
+    /// buys a multi-cycle skip.
+    pub fn ticked_bubble(&self) -> bool {
+        self.bubble
+    }
+
     /// Abandons the L1's in-flight state, returning its pooled buffers
     /// (see [`L1dModel::reset_in_flight`]). Does not make the SM
     /// resumable — for end-of-run pool accounting only.
@@ -246,6 +264,7 @@ impl Sm {
     /// Phase B records a coalesce trace point when it issues a memory
     /// instruction.
     pub fn tick_traced(&mut self, now: u64, tracer: Option<(&mut TraceRing, u32)>) {
+        self.bubble = false;
         self.l1.tick(now);
         self.completions.clear();
         self.l1.drain_completions(&mut self.completions);
@@ -409,6 +428,7 @@ impl Sm {
             }
         }
         // Nothing issued this cycle: classify the bubble.
+        self.bubble = true;
         if self.waiting_warps > 0 || self.lsu_warp.is_some() {
             self.stats.mem_stall_cycles += 1;
         } else {

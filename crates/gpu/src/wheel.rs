@@ -1,0 +1,274 @@
+//! Preallocated wake wheel for active-set tick scheduling.
+//!
+//! [`WakeWheel`] holds one *wake cycle* per component — the earliest
+//! cycle at which ticking that component could do observable work, as
+//! reported by the component's `next_event` — and answers the two
+//! questions the engine's hot loop asks:
+//!
+//! * **Is component `c` due at `now`?** — one array load
+//!   ([`WakeWheel::due`]); the dispatch loops iterate components in
+//!   canonical phase order and consult this, so dispatch order (and with
+//!   it every statistic) is identical to the always-tick engine.
+//! * **What is the earliest wake anywhere?** — O(1)
+//!   ([`WakeWheel::peek_min`]); this replaces the O(SMs × warps)
+//!   `next_event_cycle` scan the skip engine used to run after every
+//!   busy tick.
+//!
+//! The structure is an indexed binary min-heap over a dense wake array:
+//! `heap` permutes the component ids by wake time and `pos` inverts the
+//! permutation so a wake update re-sifts in O(log n) without a search.
+//! Every vector is sized once at construction — updates never allocate,
+//! which keeps the steady-state 0-alloc gate intact (DESIGN.md §3d).
+//!
+//! # Safety direction
+//!
+//! A wake that is *early* (before the component's true next event) is
+//! harmless: the component is dispatched, its tick is a no-op by the
+//! `next_event` contract, and its wake is re-registered. A wake that is
+//! *late* would make the engine skip a due component and diverge, so
+//! registration sites only ever write values obtained from `next_event`
+//! at or after the current cycle (see DESIGN.md §3i for the site-by-site
+//! argument; `tests/active_set.rs` audits the invariant every cycle on a
+//! seeded workload).
+
+/// Wake time meaning "never": the component has no intrinsic future
+/// event and only external input (re-registered by the producer) can
+/// revive it.
+pub const NEVER: u64 = u64::MAX;
+
+/// A fixed-population indexed min-heap of per-component wake cycles.
+#[derive(Debug, Clone)]
+pub struct WakeWheel {
+    /// Wake cycle per component id.
+    wake: Vec<u64>,
+    /// Component ids ordered as a binary min-heap by `wake`.
+    heap: Vec<u32>,
+    /// `pos[c]` is the index of component `c` inside `heap`.
+    pos: Vec<u32>,
+}
+
+impl WakeWheel {
+    /// A wheel for `n` components, every wake at 0 (due immediately —
+    /// the conservative state: the first dispatch re-registers the true
+    /// value).
+    pub fn new(n: usize) -> Self {
+        assert!(u32::try_from(n).is_ok(), "component id must fit in u32");
+        WakeWheel {
+            wake: vec![0; n],
+            heap: (0..n as u32).collect(),
+            pos: (0..n as u32).collect(),
+        }
+    }
+
+    /// Number of components registered.
+    pub fn len(&self) -> usize {
+        self.wake.len()
+    }
+
+    /// True for a wheel over zero components.
+    pub fn is_empty(&self) -> bool {
+        self.wake.is_empty()
+    }
+
+    /// The wake cycle registered for component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn get(&self, c: usize) -> u64 {
+        self.wake[c]
+    }
+
+    /// Whether component `c` is due at `now` (wake at or before `now`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn due(&self, c: usize, now: u64) -> bool {
+        self.wake[c] <= now
+    }
+
+    /// Registers wake cycle `t` for component `c` ([`NEVER`] for "no
+    /// intrinsic event"). O(log n), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn set(&mut self, c: usize, t: u64) {
+        let old = std::mem::replace(&mut self.wake[c], t);
+        if t < old {
+            self.sift_up(self.pos[c] as usize);
+        } else if t > old {
+            self.sift_down(self.pos[c] as usize);
+        }
+    }
+
+    /// The earliest wake cycle over every component ([`NEVER`] when all
+    /// components are parked, or for an empty wheel). O(1).
+    pub fn peek_min(&self) -> u64 {
+        self.heap.first().map_or(NEVER, |&c| self.wake[c as usize])
+    }
+
+    /// Re-registers every component as due at `t` — the conservative
+    /// reset used when entering a run (or re-enabling active-set
+    /// scheduling) after arbitrary external mutation.
+    pub fn fill(&mut self, t: u64) {
+        self.wake.fill(t);
+        // Equal keys: any permutation is a valid heap.
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.key(parent) <= self.key(i) {
+                break;
+            }
+            self.swap_slots(parent, i);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && self.key(l) < self.key(smallest) {
+                smallest = l;
+            }
+            if r < n && self.key(r) < self.key(smallest) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap_slots(smallest, i);
+            i = smallest;
+        }
+    }
+
+    fn key(&self, slot: usize) -> u64 {
+        self.wake[self.heap[slot] as usize]
+    }
+
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+
+    /// Debug audit: `pos` inverts `heap` and every parent key is at most
+    /// its children's. Used by the unit tests and the seeded active-set
+    /// property test.
+    #[doc(hidden)]
+    pub fn audit(&self) -> Result<(), String> {
+        if self.heap.len() != self.wake.len() || self.pos.len() != self.wake.len() {
+            return Err("population drifted".to_string());
+        }
+        for (slot, &c) in self.heap.iter().enumerate() {
+            if self.pos[c as usize] as usize != slot {
+                return Err(format!("pos[{c}] does not invert heap slot {slot}"));
+            }
+        }
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            if self.key(parent) > self.key(i) {
+                return Err(format!(
+                    "heap order violated: slot {parent} ({}) > slot {i} ({})",
+                    self.key(parent),
+                    self.key(i)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic generator (same xorshift* family as
+    /// `fuse_workloads::rng`) so the stress test needs no dependencies.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn starts_all_due() {
+        let w = WakeWheel::new(5);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.peek_min(), 0);
+        for c in 0..5 {
+            assert!(w.due(c, 0));
+            assert_eq!(w.get(c), 0);
+        }
+        w.audit().unwrap();
+    }
+
+    #[test]
+    fn set_moves_the_minimum() {
+        let mut w = WakeWheel::new(4);
+        for c in 0..4 {
+            w.set(c, 100 + c as u64);
+        }
+        assert_eq!(w.peek_min(), 100);
+        assert!(!w.due(0, 99));
+        assert!(w.due(0, 100));
+        w.set(0, NEVER);
+        assert_eq!(w.peek_min(), 101);
+        w.set(2, 7);
+        assert_eq!(w.peek_min(), 7);
+        w.set(2, 7); // no-op rewrite keeps the heap valid
+        assert_eq!(w.peek_min(), 7);
+        w.audit().unwrap();
+    }
+
+    #[test]
+    fn all_parked_reads_never() {
+        let mut w = WakeWheel::new(3);
+        for c in 0..3 {
+            w.set(c, NEVER);
+        }
+        assert_eq!(w.peek_min(), NEVER);
+        w.fill(42);
+        assert_eq!(w.peek_min(), 42);
+        assert!(w.due(1, 42));
+        w.audit().unwrap();
+    }
+
+    #[test]
+    fn empty_wheel_is_inert() {
+        let w = WakeWheel::new(0);
+        assert!(w.is_empty());
+        assert_eq!(w.peek_min(), NEVER);
+        w.audit().unwrap();
+    }
+
+    #[test]
+    fn random_updates_keep_heap_and_min_exact() {
+        let mut w = WakeWheel::new(37);
+        let mut rng = Rng(0x5eed_0008);
+        for step in 0..10_000 {
+            let c = (rng.next() % 37) as usize;
+            let t = match rng.next() % 4 {
+                0 => NEVER,
+                _ => rng.next() % 1000,
+            };
+            w.set(c, t);
+            if step % 97 == 0 {
+                w.audit().unwrap();
+            }
+            let reference = (0..37).map(|c| w.get(c)).min().unwrap();
+            assert_eq!(w.peek_min(), reference, "step {step}");
+        }
+        w.audit().unwrap();
+    }
+}

@@ -91,6 +91,10 @@ pub struct KeyParts<'a> {
     /// but `skipped_cycles` in the recorded result is not, so the key
     /// distinguishes the engines.)
     pub skip: bool,
+    /// Active-set tick scheduling on? Statistics are engine-identical
+    /// here too, but keying the axis keeps the invalidation contract
+    /// structural rather than resting on the equivalence proof.
+    pub active_set: bool,
     /// Shard count, `None` for the serial engine.
     pub shards: Option<usize>,
     /// Relaxed-mode epoch window; `None` means strict when sharded.
@@ -136,6 +140,7 @@ pub fn canonical_text(parts: &KeyParts<'_>) -> String {
     s.push_str(&format!("engine={ENGINE_VERSION}\n"));
     s.push_str(&format!("features={}\n", ENGINE_FEATURES.join(",")));
     s.push_str(&format!("skip={}\n", parts.skip));
+    s.push_str(&format!("active_set={}\n", parts.active_set));
     s.push_str(&format!(
         "shards={}\n",
         parts.shards.map_or("none".to_string(), |n| n.to_string())
@@ -208,6 +213,7 @@ mod tests {
             ops_per_warp: 1000,
             max_cycles: 1_000_000,
             skip: true,
+            active_set: true,
             shards: None,
             shard_epoch: None,
         }
@@ -235,6 +241,7 @@ mod tests {
         for needle in [
             ENGINE_VERSION,
             "skip=true",
+            "active_set=true",
             "shards=none",
             "ops_per_warp=1000",
             "max_cycles=1000000",

@@ -321,6 +321,7 @@ mod tests {
             ops_per_warp: 100,
             max_cycles: 1000,
             skip: true,
+            active_set: true,
             shards: None,
             shard_epoch: None,
         })

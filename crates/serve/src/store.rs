@@ -399,6 +399,7 @@ mod tests {
             ops_per_warp: ops,
             max_cycles: 1000,
             skip: true,
+            active_set: true,
             shards: None,
             shard_epoch: None,
         })

@@ -85,6 +85,22 @@ echo "==> sharded strict smoke (2 shards, stats must match serial bitwise)"
     --scale 0.1 --threads 1 --shards 2 --stats-json /tmp/fuse-verify-sharded.json >/dev/null
 diff /tmp/fuse-verify-serial.json /tmp/fuse-verify-sharded.json
 
+# Active-set smoke: the wake-wheel scheduler (the default engine) and
+# always-tick must produce byte-identical engine-independent stats
+# (DESIGN.md §3i). The serial stats from the sharded smoke above double
+# as the active-set reference — same grid, default scheduler.
+echo "==> active-set smoke (--no-active-set vs default, stats must match bitwise)"
+./target/release/fusesim sweep --workloads ATAX,GEMM --configs L1-SRAM,Dy-FUSE \
+    --scale 0.1 --threads 1 --no-active-set \
+    --stats-json /tmp/fuse-verify-fulltick.json >/dev/null
+diff /tmp/fuse-verify-serial.json /tmp/fuse-verify-fulltick.json
+
+# Scheduler-overhead gate: wheel micro-costs, a toggled cell and the
+# toggled acceptance grid — bitwise-identical stats, strictly fewer
+# dispatches with the wheel on (like alloc_budget gates allocations).
+echo "==> sched_overhead --check (active-set dispatch gate)"
+cargo bench -p fuse-bench --bench sched_overhead -- --check
+
 # Relaxed sharded smoke: the oracle audits the epoch-synchronized engine
 # on adversarial fuzz machines (shard counts clamp to each machine's SMs).
 echo "==> fusesim check --shards 4 (relaxed sharded engine under the oracle)"

@@ -34,6 +34,10 @@ pub struct RunConfig {
     /// Either engine yields bitwise-identical [`SimStats`]; skipping is
     /// just faster.
     pub skip: bool,
+    /// Active-set tick scheduling — busy cycles dispatch only components
+    /// that are due (`fusesim --no-active-set` turns it off). Bitwise
+    /// identical [`SimStats`] either way; see DESIGN.md §3i.
+    pub active_set: bool,
     /// Cycle-attribution profiling window (`fusesim --metrics-out`).
     /// `None` (the default) keeps the hot path observability-free;
     /// `SimStats` is bitwise identical either way.
@@ -61,6 +65,7 @@ impl RunConfig {
             ops_scale: env_scale(),
             max_cycles: 20_000_000,
             skip: true,
+            active_set: true,
             metrics_window: None,
             trace_capacity: None,
             shards: None,
@@ -75,6 +80,7 @@ impl RunConfig {
             ops_scale: env_scale() * 0.25,
             max_cycles: 20_000_000,
             skip: true,
+            active_set: true,
             metrics_window: None,
             trace_capacity: None,
             shards: None,
@@ -93,6 +99,7 @@ impl RunConfig {
             ops_scale: 0.25,
             max_cycles: 2_000_000,
             skip: true,
+            active_set: true,
             metrics_window: None,
             trace_capacity: None,
             shards: None,
@@ -148,6 +155,14 @@ pub struct RunResult {
     /// Cycles the engine fast-forwarded over (0 with `--no-skip`).
     /// Not part of `sim`: both engines must report identical statistics.
     pub skipped_cycles: u64,
+    /// Component dispatches the serial engine actually performed, and the
+    /// opportunities it had (components × ticked cycles). Engine
+    /// telemetry like `skipped_cycles` — not part of `sim`, not cached
+    /// (both rehydrate as 0 from a [`CellRecord`]), zero under sharding
+    /// (the coordinator never drives the serial tick loop).
+    pub component_ticks: u64,
+    /// See [`RunResult::component_ticks`].
+    pub component_opportunities: u64,
     /// Windowed stall-breakdown profile (`Some` iff
     /// [`RunConfig::metrics_window`] was set).
     pub profile: Option<ProfileReport>,
@@ -201,6 +216,8 @@ impl RunResult {
             metrics: rec.metrics,
             energy: rec.energy,
             skipped_cycles: rec.skipped_cycles,
+            component_ticks: 0,
+            component_opportunities: 0,
             profile: None,
             trace: None,
         }
@@ -248,6 +265,7 @@ fn cell_key(spec: &WorkloadSpec, l1: L1Column<'_>, rc: &RunConfig) -> CellKey {
         ops_per_warp: rc.ops_for(spec),
         max_cycles: rc.max_cycles,
         skip: rc.skip,
+        active_set: rc.active_set,
         shards: rc.shards,
         shard_epoch: rc.shard_epoch,
     })
@@ -282,6 +300,8 @@ fn collect(
         metrics,
         energy,
         skipped_cycles: sys.skipped_cycles(),
+        component_ticks: sys.component_ticks(),
+        component_opportunities: sys.component_opportunities(),
         profile: sys.take_profile(),
         trace: sys.take_trace(),
     }
@@ -315,6 +335,7 @@ pub fn run_workload(spec: &WorkloadSpec, preset: L1Preset, rc: &RunConfig) -> Ru
         |sm, warp| spec.program(sm, warp, ops),
     );
     sys.set_cycle_skipping(rc.skip);
+    sys.set_active_set(rc.active_set);
     apply_observability(&mut sys, rc);
     let sim = run_engine(&mut sys, rc);
     collect(
@@ -350,6 +371,7 @@ pub fn run_l1_config(
         |sm, warp| spec.program(sm, warp, ops),
     );
     sys.set_cycle_skipping(rc.skip);
+    sys.set_active_set(rc.active_set);
     apply_observability(&mut sys, rc);
     let sim = run_engine(&mut sys, rc);
     collect(spec.name, config_name, &mut sys, sim, banks)
@@ -462,6 +484,25 @@ mod tests {
     }
 
     #[test]
+    fn active_set_and_always_tick_agree_on_a_fuse_config() {
+        let w = by_name("srad_v1").unwrap();
+        let fast = run_workload(&w, L1Preset::DyFuse, &RunConfig::smoke());
+        let slow_rc = RunConfig {
+            active_set: false,
+            ..RunConfig::smoke()
+        };
+        let slow = run_workload(&w, L1Preset::DyFuse, &slow_rc);
+        assert_eq!(fast.sim, slow.sim, "schedulers must agree bitwise");
+        assert!(
+            fast.component_ticks < slow.component_ticks,
+            "active-set must elide dispatches: {} vs {}",
+            fast.component_ticks,
+            slow.component_ticks
+        );
+        assert!(fast.component_ticks <= fast.component_opportunities);
+    }
+
+    #[test]
     fn observability_is_off_by_default_and_opt_in() {
         let w = by_name("ATAX").unwrap();
         let plain = run_workload(&w, L1Preset::DyFuse, &RunConfig::smoke());
@@ -548,12 +589,21 @@ mod tests {
                 ..RunConfig::smoke()
             },
         );
+        let always_tick = preset_cell_key(
+            &w,
+            L1Preset::DyFuse,
+            &RunConfig {
+                active_set: false,
+                ..RunConfig::smoke()
+            },
+        );
         let keys = [
             &base,
             &other_preset,
             &other_workload,
             &other_budget,
             &tick_engine,
+            &always_tick,
         ];
         for (i, a) in keys.iter().enumerate() {
             for b in keys.iter().skip(i + 1) {

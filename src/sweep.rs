@@ -171,6 +171,14 @@ impl SweepPlan {
         self
     }
 
+    /// Enables or disables active-set tick scheduling for every cell
+    /// (`fusesim --no-active-set` routes through this). Cell statistics
+    /// are bitwise identical either way; only wall clock changes.
+    pub fn active_set(mut self, on: bool) -> Self {
+        self.run_config.active_set = on;
+        self
+    }
+
     /// Opts every cell into cycle-attribution profiling with the given
     /// window (`fusesim sweep --metrics-window`). Cell statistics stay
     /// bitwise identical; the per-cell reports ride along in
@@ -532,6 +540,20 @@ impl SweepReport {
                 s.pop(); // re-open the cell object
                 s.push_str(&format!(",\"windows\":{}}}", profile.series.samples.len()));
             }
+            if r.component_opportunities > 0 {
+                // Schema v7: serially executed cells carry the engine's
+                // dispatch telemetry (cache hits and sharded cells
+                // rehydrate/report 0 opportunities and stay bare).
+                s.pop(); // re-open the cell object
+                s.push_str(&format!(
+                    ",\"component_ticks\":{},\"ticked_frac\":{}}}",
+                    r.component_ticks,
+                    json_f64(
+                        r.component_ticks as f64 / r.component_opportunities as f64,
+                        4
+                    ),
+                ));
+            }
             if let Some(apk) = cell.allocs_per_kcycle {
                 s.pop(); // re-open the cell object
                 s.push_str(&format!(",\"allocs_per_kcycle\":{}}}", json_f64(apk, 3)));
@@ -605,7 +627,7 @@ impl SweepReport {
             }
         }
         entries.push(self.to_json());
-        let mut out = String::from("{\"schema\":\"fuse-sweep-v6\",\"sweeps\":[\n");
+        let mut out = String::from("{\"schema\":\"fuse-sweep-v7\",\"sweeps\":[\n");
         out.push_str(&entries.join(",\n"));
         out.push_str("\n]}\n");
         std::fs::write(path, out)
@@ -708,7 +730,7 @@ mod tests {
         let content = std::fs::read_to_string(&path).expect("readable");
         assert_eq!(content.matches("{\"name\":\"unit\"").count(), 1);
         assert_eq!(content.matches("{\"name\":\"other\"").count(), 1);
-        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v6\""));
+        assert!(content.starts_with("{\"schema\":\"fuse-sweep-v7\""));
         let _ = std::fs::remove_file(&path);
     }
 
