@@ -13,9 +13,11 @@
 //!
 //! The cold and warm reports are recorded as the `fig13-cold` /
 //! `fig13-warm` rows of `BENCH_sweep.json`, so the speedup is part of
-//! the tracked bench history. A final in-process pass hammers a
+//! the tracked bench history. A final pair of load passes hammers a
 //! [`Server`] with thousands of overlapping requests from concurrent
-//! client threads to exercise coalescing and the bounded queue.
+//! client threads — once in-process (coalescing and the bounded queue,
+//! no transport overhead) and once over authenticated TCP loopback (the
+//! full wire path: `AUTH`, framing, retries).
 //!
 //! `--check` runs the same shape under the smoke budget and asserts the
 //! invariants without recording rows.
@@ -24,9 +26,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fuse::core::config::L1Preset;
-use fuse::runner::{preset_cell_key, run_workload, RunConfig};
+use fuse::runner::{preset_cell_key, RunConfig, ServeBackend};
 use fuse::serve::proto::{CellReply, CellSpec};
-use fuse::serve::{CellBackend, CellKey, CellRecord, ResultCache, Server, ServerConfig};
+use fuse::serve::{
+    client, ClientConfig, Listener, ResultCache, ServeOptions, Server, ServerConfig,
+};
 use fuse::sweep::{SweepPlan, SweepReport};
 use fuse_bench::bench_config;
 use fuse_workloads::{all_workloads, by_name};
@@ -45,40 +49,9 @@ fn timed(plan: SweepPlan) -> (SweepReport, Duration) {
     (report, start.elapsed())
 }
 
-/// `fusesim serve`'s backend, re-built here so the load test measures
-/// the in-process server rather than socket and process overheads.
-struct GridBackend {
-    rc: RunConfig,
-}
-
-impl GridBackend {
-    fn preset(name: &str) -> Result<L1Preset, String> {
-        L1Preset::FIG13
-            .into_iter()
-            .find(|p| p.name() == name)
-            .ok_or_else(|| format!("unknown config {name:?}"))
-    }
-}
-
-impl CellBackend for GridBackend {
-    fn key(&self, spec: &CellSpec) -> Result<CellKey, String> {
-        let w = by_name(&spec.workload)
-            .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
-        Ok(preset_cell_key(&w, Self::preset(&spec.config)?, &self.rc))
-    }
-
-    fn simulate(&self, spec: &CellSpec) -> Result<CellRecord, String> {
-        let w = by_name(&spec.workload)
-            .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
-        Ok(run_workload(&w, Self::preset(&spec.config)?, &self.rc).to_record())
-    }
-}
-
-/// Every client thread submits the whole grid `rounds` times; the cells
-/// overlap across threads, so the first round is carried by coalescing
-/// and every later one by the cache.
-fn serve_load(cache_dir: &std::path::Path, rc: &RunConfig, clients: usize, rounds: usize) {
-    let batch: Vec<CellSpec> = all_workloads()
+/// The full grid as wire cell tokens.
+fn grid_batch() -> Vec<CellSpec> {
+    all_workloads()
         .iter()
         .flat_map(|w| {
             PRESETS.iter().map(|p| CellSpec {
@@ -86,10 +59,17 @@ fn serve_load(cache_dir: &std::path::Path, rc: &RunConfig, clients: usize, round
                 config: p.name().to_string(),
             })
         })
-        .collect();
+        .collect()
+}
+
+/// Every client thread submits the whole grid `rounds` times; the cells
+/// overlap across threads, so the first round is carried by coalescing
+/// and every later one by the cache.
+fn serve_load(cache_dir: &std::path::Path, rc: &RunConfig, clients: usize, rounds: usize) {
+    let batch = grid_batch();
     let cache = Arc::new(ResultCache::open(cache_dir, None).expect("cache opens"));
     let server = Arc::new(Server::new(
-        Arc::new(GridBackend { rc: rc.clone() }),
+        Arc::new(ServeBackend::new(rc.clone())),
         cache,
         ServerConfig::default(),
     ));
@@ -142,6 +122,97 @@ fn serve_load(cache_dir: &std::path::Path, rc: &RunConfig, clients: usize, round
         total as f64 / elapsed.as_secs_f64().max(1e-9),
         server.coalesced(),
         stats.hits,
+    );
+}
+
+/// The same warm-store hammering over authenticated TCP loopback: each
+/// client thread dials the server, opens with `AUTH`, and sweeps the
+/// whole grid per round through the retrying [`client`]. Measures the
+/// full wire path the in-process pass skips.
+fn serve_load_tcp(cache_dir: &std::path::Path, rc: &RunConfig, clients: usize, rounds: usize) {
+    const TOKEN: &str = "bench-secret";
+    let sweep = format!(
+        "SWEEP {}",
+        grid_batch()
+            .iter()
+            .map(|c| c.token())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let cells_per_sweep = grid_batch().len();
+    let cache = Arc::new(ResultCache::open(cache_dir, None).expect("cache opens"));
+    let server = Arc::new(Server::new(
+        Arc::new(ServeBackend::new(rc.clone())),
+        cache,
+        ServerConfig::default(),
+    ));
+    let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind loopback");
+    let endpoint = listener.endpoint();
+    let opts = ServeOptions {
+        auth_token: Some(TOKEN.to_string()),
+        ..ServeOptions::default()
+    };
+    let acceptor = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(&listener, &opts))
+    };
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let endpoint = endpoint.clone();
+            let sweep = sweep.clone();
+            std::thread::spawn(move || {
+                let mut cfg = ClientConfig::new(endpoint);
+                cfg.auth_token = Some(TOKEN.to_string());
+                cfg.io_timeout = Duration::from_secs(120);
+                let mut hits = 0u64;
+                let mut errors = 0u64;
+                for _ in 0..rounds {
+                    let lines = client::request(&cfg, &sweep).expect("sweep over TCP");
+                    let done = lines.last().expect("terminal line");
+                    for field in done.split_ascii_whitespace().skip(1) {
+                        let (key, value) = field.split_once('=').expect("DONE k=v fields");
+                        let value: u64 = value.parse().expect("DONE counts");
+                        match key {
+                            "hits" => hits += value,
+                            "errors" => errors += value,
+                            _ => {}
+                        }
+                    }
+                }
+                (hits, errors)
+            })
+        })
+        .collect();
+    let mut hits = 0u64;
+    let mut errors = 0u64;
+    for h in handles {
+        let (c, e) = h.join().expect("client thread");
+        hits += c;
+        errors += e;
+    }
+    let elapsed = start.elapsed();
+
+    let total = (clients * rounds * cells_per_sweep) as u64;
+    assert_eq!(errors, 0, "no TCP request may fail under load");
+    assert_eq!(hits, total, "warm store must answer every cell over TCP");
+    // Stop the serve loop through the same wire path.
+    let mut cfg = ClientConfig::new(endpoint);
+    cfg.auth_token = Some(TOKEN.to_string());
+    assert_eq!(
+        client::request(&cfg, "SHUTDOWN").expect("shutdown"),
+        vec!["BYE"]
+    );
+    acceptor
+        .join()
+        .expect("acceptor thread")
+        .expect("serve loop");
+    println!(
+        "serve load (tcp): {total} requests from {clients} clients in {:.2?} \
+         ({:.0} req/s over authenticated loopback)",
+        elapsed,
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
     );
 }
 
@@ -202,9 +273,11 @@ fn main() {
     }
 
     // Load test: thousands of overlapping requests against the warmed
-    // store (the removed victim is back after the incremental pass).
+    // store (the removed victim is back after the incremental pass) —
+    // in-process first, then the same load over authenticated TCP.
     let (clients, rounds) = if check { (4, 4) } else { (8, 16) };
     serve_load(&dir, &rc, clients, rounds);
+    serve_load_tcp(&dir, &rc, clients, rounds);
 
     let _ = std::fs::remove_dir_all(&dir);
     println!("serve_load: ok");

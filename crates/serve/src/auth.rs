@@ -1,0 +1,72 @@
+//! Shared-token authentication for the service transports.
+//!
+//! The protocol is one line: `AUTH <token>` must be the first request on
+//! a connection when the server was started with a token. The comparison
+//! is constant-time so a remote peer cannot binary-search the token one
+//! byte at a time from response latency; a failed (or missing) `AUTH`
+//! gets exactly one `ERR` line and the connection is closed.
+
+/// Constant-time token comparison.
+///
+/// Accumulates the XOR of every byte position (padding the shorter input
+/// with zeros) plus the length difference, and only inspects the
+/// accumulator at the end — there is no data-dependent early exit. The
+/// *length* of the expected token is the only thing a timing observer
+/// can learn, which a shared secret does not need to hide.
+pub fn token_eq(candidate: &str, expected: &str) -> bool {
+    let a = candidate.as_bytes();
+    let b = expected.as_bytes();
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= std::hint::black_box((x ^ y) as usize);
+    }
+    diff == 0
+}
+
+/// Validates a token for use on the line-based wire: non-empty, no
+/// whitespace (it must survive `split_ascii_whitespace` framing) and no
+/// control characters (it must survive line framing).
+///
+/// # Errors
+///
+/// A human-readable message describing the offending property.
+pub fn validate_token(token: &str) -> Result<(), String> {
+    if token.is_empty() {
+        return Err("auth token must not be empty".to_string());
+    }
+    if token.chars().any(|c| c.is_whitespace() || c.is_control()) {
+        return Err(
+            "auth token must not contain whitespace or control characters \
+             (it travels on one protocol line)"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_eq_truth_table() {
+        assert!(token_eq("secret", "secret"));
+        assert!(token_eq("", ""));
+        assert!(!token_eq("secret", "secreT"));
+        assert!(!token_eq("secret", "secret2"), "prefix must not match");
+        assert!(!token_eq("secre", "secret"), "truncation must not match");
+        assert!(!token_eq("", "secret"));
+        assert!(!token_eq("secret", ""));
+    }
+
+    #[test]
+    fn token_validation_rejects_unframeable_tokens() {
+        assert!(validate_token("a-good_token.123").is_ok());
+        assert!(validate_token("").is_err());
+        assert!(validate_token("two words").is_err());
+        assert!(validate_token("tab\there").is_err());
+        assert!(validate_token("new\nline").is_err());
+    }
+}

@@ -6,6 +6,8 @@
 //! requests; the server answers each in order.
 //!
 //! ```text
+//! -> AUTH <token>                        (mandatory first line when the
+//! <- OK                                   server was started with a token)
 //! -> PING
 //! <- PONG
 //! -> SWEEP ATAX/Dy-FUSE ATAX/L1-SRAM
@@ -13,10 +15,17 @@
 //! <- CELL ATAX/L1-SRAM cached key=<32 hex> cycles=901234 instructions=460800
 //! <- DONE hits=1 misses=1 errors=0
 //! -> STATS
-//! <- STATS entries=42 bytes=123456 hits=84 misses=42 inserts=42 evictions=0 quarantined=0 coalesced=7
+//! <- STATS entries=42 bytes=123456 hits=84 misses=42 inserts=42 evictions=0 quarantined=0 coalesced=7 panics=0
 //! -> SHUTDOWN
 //! <- BYE
 //! ```
+//!
+//! Two more server lines shed load instead of answering: a `SWEEP` that
+//! would block on the full bounded job queue — and a connection the
+//! server has no handler capacity for — is refused with
+//! `BUSY retry-after=<ms>` (the client backs off and retries), and a
+//! connection that fails (or skips) a required `AUTH` gets a single
+//! `ERR - …` line before it is closed.
 //!
 //! Cells are named `<workload>/<config>`; both halves are resolved by the
 //! server's [`crate::server::CellBackend`], so clients never ship
@@ -61,6 +70,8 @@ impl CellSpec {
 /// A parsed client request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
+    /// Authenticate the connection with a shared token.
+    Auth(String),
     /// Simulate-or-fetch a batch of cells.
     Sweep(Vec<CellSpec>),
     /// Report cache counters.
@@ -70,6 +81,9 @@ pub enum Request {
     /// Stop the server after draining in-flight work.
     Shutdown,
 }
+
+/// The server's reply to a successful `AUTH`.
+pub const AUTH_OK: &str = "OK";
 
 /// Parses one request line.
 ///
@@ -84,6 +98,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some("PING") => Ok(Request::Ping),
         Some("STATS") => Ok(Request::Stats),
         Some("SHUTDOWN") => Ok(Request::Shutdown),
+        Some("AUTH") => {
+            let token = words.next().ok_or("AUTH needs a token")?;
+            if words.next().is_some() {
+                return Err("AUTH takes exactly one token".to_string());
+            }
+            Ok(Request::Auth(token.to_string()))
+        }
         Some("SWEEP") => {
             let cells: Result<Vec<CellSpec>, String> = words.map(CellSpec::parse).collect();
             let cells = cells?;
@@ -149,13 +170,25 @@ pub fn done_line(hits: u64, misses: u64, errors: u64) -> String {
     format!("DONE hits={hits} misses={misses} errors={errors}")
 }
 
+/// Renders the load-shedding reply: the request was refused because the
+/// bounded job queue (or the connection limit) is full, and the client
+/// should retry after roughly `retry_after_ms` milliseconds.
+pub fn busy_line(retry_after_ms: u64) -> String {
+    format!("BUSY retry-after={retry_after_ms}")
+}
+
+/// Parses a [`busy_line`] reply, returning the suggested retry delay.
+pub fn parse_busy(line: &str) -> Option<u64> {
+    line.trim().strip_prefix("BUSY retry-after=")?.parse().ok()
+}
+
 /// Renders the `STATS` response line from a cache snapshot plus the
-/// server's coalesced-request counter.
-pub fn stats_line(s: &crate::store::CacheStatsSnapshot, coalesced: u64) -> String {
+/// server's coalesced-request and isolated-panic counters.
+pub fn stats_line(s: &crate::store::CacheStatsSnapshot, coalesced: u64, panics: u64) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "STATS entries={} bytes={} hits={} misses={} inserts={} evictions={} quarantined={} coalesced={coalesced}",
+        "STATS entries={} bytes={} hits={} misses={} inserts={} evictions={} quarantined={} coalesced={coalesced} panics={panics}",
         s.entries, s.bytes, s.hits, s.misses, s.inserts, s.evictions, s.quarantined,
     );
     out
@@ -170,6 +203,15 @@ mod tests {
         assert_eq!(parse_request("PING\n"), Ok(Request::Ping));
         assert_eq!(parse_request("  STATS  "), Ok(Request::Stats));
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
+        assert_eq!(
+            parse_request("AUTH s3cr3t"),
+            Ok(Request::Auth("s3cr3t".to_string()))
+        );
+        assert!(parse_request("AUTH").is_err(), "AUTH needs a token");
+        assert!(
+            parse_request("AUTH one two").is_err(),
+            "AUTH takes one token"
+        );
         assert_eq!(
             parse_request("SWEEP ATAX/Dy-FUSE BFS/L1-SRAM"),
             Ok(Request::Sweep(vec![
@@ -223,5 +265,14 @@ mod tests {
         };
         assert_eq!(err.line(), "ERR ATAX/Dy-FUSE no such workload");
         assert_eq!(done_line(1, 2, 3), "DONE hits=1 misses=2 errors=3");
+    }
+
+    #[test]
+    fn busy_lines_round_trip() {
+        assert_eq!(busy_line(250), "BUSY retry-after=250");
+        assert_eq!(parse_busy("BUSY retry-after=250"), Some(250));
+        assert_eq!(parse_busy("BUSY retry-after=250\n"), Some(250));
+        assert_eq!(parse_busy("BUSY"), None);
+        assert_eq!(parse_busy("DONE hits=0 misses=0 errors=0"), None);
     }
 }

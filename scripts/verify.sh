@@ -143,4 +143,34 @@ wait "$batch_pid"
 wait "$serve_pid"
 rm -rf "$serve_dir"
 
+# TCP service smoke: serve over authenticated loopback (port 0 = kernel
+# picks; the bound address is parsed from the startup line), reject a
+# wrong token, then do a cold + warm sweep and shut down over the wire.
+echo "==> fusesim serve TCP smoke (auth round trip, cold+warm sweep, clean shutdown)"
+tcp_dir=$(mktemp -d /tmp/fuse-verify-tcp.XXXXXX)
+./target/release/fusesim serve --listen 127.0.0.1:0 --auth-token verify-secret \
+    --cache-dir "$tcp_dir/cache" --scale 0.1 --workers 2 >"$tcp_dir/serve.log" &
+tcp_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^serving on tcp:\([^ ]*\).*/\1/p' "$tcp_dir/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve never reported its TCP address"; exit 1; }
+# The wrong token must be rejected (and must not burn the retry budget).
+if ./target/release/fusesim submit --addr "$addr" --auth-token wrong --ping >/dev/null 2>&1; then
+    echo "submit with a wrong token must fail"
+    exit 1
+fi
+./target/release/fusesim submit --addr "$addr" --auth-token verify-secret --ping \
+    | grep -qx "PONG"
+./target/release/fusesim submit --addr "$addr" --auth-token verify-secret \
+    ATAX/Dy-FUSE GEMM/L1-SRAM | grep -qx "DONE hits=0 misses=2 errors=0"
+./target/release/fusesim submit --addr "$addr" --auth-token verify-secret \
+    ATAX/Dy-FUSE GEMM/L1-SRAM | grep -qx "DONE hits=2 misses=0 errors=0"
+./target/release/fusesim submit --addr "$addr" --auth-token verify-secret --shutdown >/dev/null
+wait "$tcp_pid"
+rm -rf "$tcp_dir"
+
 echo "verify: OK"

@@ -15,17 +15,19 @@
 //! ([`fuse::sweep::SweepPlan`]); results are identical to serial runs,
 //! only faster.
 
-use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use fuse::core::config::L1Preset;
-use fuse::runner::{preset_cell_key, run_workload, RunConfig, RunResult};
+use fuse::runner::{
+    preset_by_name, preset_cell_key, run_workload, RunConfig, RunResult, ServeBackend,
+};
 use fuse::serve::proto::CellSpec;
 use fuse::serve::{
-    CellBackend, CellKey, CellRecord, ResultCache, Server, ServerConfig, VerifyOutcome,
+    auth, client, ClientConfig, Endpoint, Listener, ResultCache, ServeOptions, Server,
+    ServerConfig, VerifyOutcome,
 };
 use fuse::sweep::SweepPlan;
 use fuse::workloads::{all_workloads, by_name};
@@ -51,13 +53,17 @@ USAGE:
                                            gc --max-bytes N evict LRU entries over N bytes
                                            rm <DIGEST>      invalidate one cell by digest
     fusesim serve [OPTIONS]              serve batched sweep requests over a Unix
-                                         socket (--socket) backed by a result cache
-                                         (--cache-dir); overlapping requests for the
-                                         same cell share one simulation
+                                         socket (--socket) and/or TCP (--listen,
+                                         requires --auth-token) backed by a result
+                                         cache (--cache-dir); overlapping requests
+                                         for the same cell share one simulation, a
+                                         full job queue sheds with BUSY, and worker
+                                         panics never hang clients
     fusesim submit [CELLS] [OPTIONS]     client for `fusesim serve`: send a batch of
                                          <workload>/<config> cells (or --workloads x
                                          --configs), --ping, --server-stats, or
-                                         --shutdown
+                                         --shutdown over --socket or --addr; retries
+                                         transient failures and honors BUSY backoff
 
 OPTIONS:
     --workload <NAME>    workload name from Table II (default: ATAX)
@@ -109,8 +115,23 @@ OPTIONS:
                          entries are evicted over budget
     --max-bytes <N>      target size for `cache gc`
     --socket <PATH>      Unix socket path (serve/submit)
+    --listen <ADDR>      TCP listen address, e.g. 127.0.0.1:7070 — port 0
+                         picks a free port, printed on start (serve;
+                         requires --auth-token; may be combined with
+                         --socket to serve both transports)
+    --addr <HOST:PORT>   TCP server address (submit; alternative to --socket)
+    --auth-token <TOK>   shared token: clients must open with `AUTH <TOK>`
+                         (serve over TCP: required; submit: sent first)
     --workers <N>        simulation worker threads (serve; default 2)
     --queue <N>          bounded job-queue capacity (serve; default 64)
+    --max-conns <N>      concurrent connection limit; extra connections
+                         get `BUSY retry-after=<ms>` (serve; default 64)
+    --io-timeout-ms <N>  per-connection read/write deadline so dead peers
+                         cannot pin handler threads (serve; default 30000)
+    --timeout-ms <N>     per-attempt connect/read/write deadline (submit;
+                         default 30000)
+    --retries <N>        extra attempts with exponential backoff on
+                         transient failures and BUSY (submit; default 3)
     --ping               liveness probe (submit)
     --server-stats       query cache counters (submit)
     --shutdown           stop the server after in-flight work (submit)
@@ -146,8 +167,15 @@ struct Args {
     cache_max_bytes: Option<u64>,
     max_bytes: Option<u64>,
     socket: Option<String>,
+    listen: Option<String>,
+    addr: Option<String>,
+    auth_token: Option<String>,
     workers: Option<usize>,
     queue: Option<usize>,
+    max_conns: Option<usize>,
+    io_timeout_ms: Option<u64>,
+    timeout_ms: Option<u64>,
+    retries: Option<u32>,
     ping: bool,
     server_stats: bool,
     shutdown: bool,
@@ -187,8 +215,15 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         cache_max_bytes: None,
         max_bytes: None,
         socket: None,
+        listen: None,
+        addr: None,
+        auth_token: None,
         workers: None,
         queue: None,
+        max_conns: None,
+        io_timeout_ms: None,
+        timeout_ms: None,
+        retries: None,
         ping: false,
         server_stats: false,
         shutdown: false,
@@ -301,6 +336,45 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--socket" => {
                 args.socket = Some(argv.next().ok_or("--socket needs a value")?);
             }
+            "--listen" => {
+                args.listen = Some(argv.next().ok_or("--listen needs a value")?);
+            }
+            "--addr" => {
+                args.addr = Some(argv.next().ok_or("--addr needs a value")?);
+            }
+            "--auth-token" => {
+                args.auth_token = Some(argv.next().ok_or("--auth-token needs a value")?);
+            }
+            "--max-conns" => {
+                let v = argv.next().ok_or("--max-conns needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad connection limit {v:?}"))?;
+                if n == 0 {
+                    return Err("--max-conns must be at least 1".to_string());
+                }
+                args.max_conns = Some(n);
+            }
+            "--io-timeout-ms" => {
+                let v = argv.next().ok_or("--io-timeout-ms needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad deadline {v:?}"))?;
+                if n == 0 {
+                    return Err("--io-timeout-ms must be at least 1".to_string());
+                }
+                args.io_timeout_ms = Some(n);
+            }
+            "--timeout-ms" => {
+                let v = argv.next().ok_or("--timeout-ms needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad deadline {v:?}"))?;
+                if n == 0 {
+                    return Err("--timeout-ms must be at least 1".to_string());
+                }
+                args.timeout_ms = Some(n);
+            }
+            "--retries" => {
+                let v = argv.next().ok_or("--retries needs a value")?;
+                args.retries = Some(v.parse().map_err(|_| format!("bad retry count {v:?}"))?);
+            }
             "--workers" => {
                 let v = argv.next().ok_or("--workers needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
@@ -333,12 +407,6 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         ));
     }
     Ok(args)
-}
-
-fn preset_by_name(name: &str) -> Option<L1Preset> {
-    L1Preset::ALL
-        .into_iter()
-        .find(|p| p.name().eq_ignore_ascii_case(name))
 }
 
 fn run_config(args: &Args) -> Result<RunConfig, String> {
@@ -841,61 +909,97 @@ fn cmd_cache(args: &Args) -> Result<(), String> {
     }
 }
 
-/// The server side of the backend seam: keys and simulations resolved
-/// through the same [`RunConfig`] every other command uses, so a cell
-/// served over the socket is bit-identical to one run locally.
-struct CliBackend {
-    rc: RunConfig,
-}
-
-impl CellBackend for CliBackend {
-    fn key(&self, spec: &CellSpec) -> Result<CellKey, String> {
-        let w = by_name(&spec.workload)
-            .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
-        let p = preset_by_name(&spec.config)
-            .ok_or_else(|| format!("unknown config {:?}", spec.config))?;
-        Ok(preset_cell_key(&w, p, &self.rc))
-    }
-
-    fn simulate(&self, spec: &CellSpec) -> Result<CellRecord, String> {
-        let w = by_name(&spec.workload)
-            .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
-        let p = preset_by_name(&spec.config)
-            .ok_or_else(|| format!("unknown config {:?}", spec.config))?;
-        Ok(run_workload(&w, p, &self.rc).to_record())
-    }
-}
-
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let socket = args.socket.as_deref().ok_or("serve needs --socket")?;
+    if args.socket.is_none() && args.listen.is_none() {
+        return Err("serve needs --socket and/or --listen".to_string());
+    }
+    if args.listen.is_some() && args.auth_token.is_none() {
+        return Err("serving TCP requires --auth-token (the socket is network-reachable)".into());
+    }
+    if let Some(token) = &args.auth_token {
+        auth::validate_token(token)?;
+    }
     let cache = open_cache(args)?.ok_or("serve needs --cache-dir")?;
     let rc = run_config(args)?;
     let config = ServerConfig {
         workers: args.workers.unwrap_or(2),
         queue_capacity: args.queue.unwrap_or(64),
     };
-    let server = Server::new(Arc::new(CliBackend { rc }), cache, config);
-    println!(
-        "serving on {socket} ({} workers, queue {}); stop with `fusesim submit --socket {socket} --shutdown`",
-        config.workers, config.queue_capacity
-    );
-    server
-        .serve_unix(Path::new(socket))
-        .map_err(|e| format!("serving {socket}: {e}"))?;
+    let io_timeout = Duration::from_millis(args.io_timeout_ms.unwrap_or(30_000));
+    let opts = ServeOptions {
+        auth_token: args.auth_token.clone(),
+        read_timeout: io_timeout,
+        write_timeout: io_timeout,
+        max_connections: args.max_conns.unwrap_or(64),
+        ..ServeOptions::default()
+    };
+    let mut listeners = Vec::new();
+    if let Some(socket) = &args.socket {
+        let l = Listener::bind_unix(Path::new(socket))
+            .map_err(|e| format!("binding unix:{socket}: {e}"))?;
+        listeners.push(l);
+    }
+    if let Some(addr) = &args.listen {
+        let l = Listener::bind_tcp(addr).map_err(|e| format!("binding tcp:{addr}: {e}"))?;
+        listeners.push(l);
+    }
+    let server = Server::new(Arc::new(ServeBackend::new(rc)), cache, config);
+    for l in &listeners {
+        // The actual bound endpoint: `--listen 127.0.0.1:0` resolves to
+        // the kernel-assigned port here, which scripts parse.
+        println!(
+            "serving on {} ({} workers, queue {}, {} conns max{})",
+            l.endpoint().describe(),
+            config.workers,
+            config.queue_capacity,
+            opts.max_connections,
+            if opts.auth_token.is_some() {
+                ", auth required"
+            } else {
+                ""
+            }
+        );
+    }
+    // One serve loop per listener; a SHUTDOWN on either transport wakes
+    // and stops both. Errors are joined after all loops exit so one
+    // transport failing does not strand the other's cleanup.
+    let results: Vec<std::io::Result<()>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = listeners
+            .iter()
+            .map(|l| scope.spawn(|| server.serve(l, &opts)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve loop panicked"))
+            .collect()
+    });
     server.join();
+    for (l, r) in listeners.iter().zip(&results) {
+        if let Err(e) = r {
+            return Err(format!("serving {}: {e}", l.endpoint().describe()));
+        }
+    }
     let s = server.cache().stats();
     println!(
-        "served: {} hits, {} misses, {} coalesced; cache holds {} entries",
+        "served: {} hits, {} misses, {} coalesced, {} panics contained; cache holds {} entries",
         s.hits,
         s.misses,
         server.coalesced(),
+        server.panicked(),
         s.entries
     );
     Ok(())
 }
 
 fn cmd_submit(args: &Args) -> Result<(), String> {
-    let socket = args.socket.as_deref().ok_or("submit needs --socket")?;
+    let endpoint = match (&args.socket, &args.addr) {
+        (Some(_), Some(_)) => {
+            return Err("submit takes --socket or --addr, not both".to_string());
+        }
+        (Some(socket), None) => Endpoint::unix(socket),
+        (None, Some(addr)) => Endpoint::tcp(addr.clone()),
+        (None, None) => return Err("submit needs --socket or --addr".to_string()),
+    };
     let request = if args.ping {
         "PING".to_string()
     } else if args.server_stats {
@@ -918,28 +1022,18 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         };
         format!("SWEEP {}", cells.join(" "))
     };
-    let mut conn =
-        UnixStream::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))?;
-    let reader = BufReader::new(
-        conn.try_clone()
-            .map_err(|e| format!("cloning socket: {e}"))?,
-    );
-    writeln!(conn, "{request}").map_err(|e| format!("sending request: {e}"))?;
-    conn.flush().map_err(|e| format!("sending request: {e}"))?;
+    let mut cfg = ClientConfig::new(endpoint);
+    cfg.auth_token = args.auth_token.clone();
+    cfg.io_timeout = Duration::from_millis(args.timeout_ms.unwrap_or(30_000));
+    if let Some(retries) = args.retries {
+        cfg.retries = retries;
+    }
+    let lines = client::request(&cfg, &request)?;
     let mut errors = 0usize;
-    for line in reader.lines() {
-        let line = line.map_err(|e| format!("reading response: {e}"))?;
+    for line in &lines {
         println!("{line}");
         if line.starts_with("ERR") {
             errors += 1;
-        }
-        let terminal = line.starts_with("DONE")
-            || line == "PONG"
-            || line == "BYE"
-            || line.starts_with("STATS")
-            || line.starts_with("ERR - ");
-        if terminal {
-            break;
         }
     }
     if errors > 0 {
@@ -1237,6 +1331,89 @@ mod tests {
 
         assert!(args(&["serve", "--workers", "0"]).is_err());
         assert!(args(&["serve", "--queue", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_tcp_transport_flags() {
+        let a = args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--auth-token",
+            "s3cr3t",
+            "--cache-dir",
+            "/tmp/c",
+            "--max-conns",
+            "8",
+            "--io-timeout-ms",
+            "5000",
+        ])
+        .unwrap();
+        assert_eq!(a.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(a.auth_token.as_deref(), Some("s3cr3t"));
+        assert_eq!(a.max_conns, Some(8));
+        assert_eq!(a.io_timeout_ms, Some(5000));
+
+        let a = args(&[
+            "submit",
+            "ATAX/Dy-FUSE",
+            "--addr",
+            "127.0.0.1:7070",
+            "--auth-token",
+            "s3cr3t",
+            "--timeout-ms",
+            "2000",
+            "--retries",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(a.addr.as_deref(), Some("127.0.0.1:7070"));
+        assert_eq!(a.timeout_ms, Some(2000));
+        assert_eq!(a.retries, Some(5));
+
+        assert!(args(&["serve", "--max-conns", "0"]).is_err());
+        assert!(args(&["serve", "--io-timeout-ms", "0"]).is_err());
+        assert!(args(&["submit", "--timeout-ms", "0"]).is_err());
+    }
+
+    #[test]
+    fn serve_and_submit_validate_their_transport_combinations() {
+        // TCP serving without a token must be refused up front.
+        let a = args(&["serve", "--listen", "127.0.0.1:0", "--cache-dir", "/tmp/c"]).unwrap();
+        let e = cmd_serve(&a).unwrap_err();
+        assert!(e.contains("--auth-token"), "got {e:?}");
+        // Unframeable tokens (whitespace cannot survive the one-line
+        // protocol) are refused before binding anything.
+        let a = args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--auth-token",
+            "two words",
+            "--cache-dir",
+            "/tmp/c",
+        ])
+        .unwrap();
+        let e = cmd_serve(&a).unwrap_err();
+        assert!(e.contains("auth token"), "got {e:?}");
+        // No transport at all.
+        let a = args(&["serve", "--cache-dir", "/tmp/c"]).unwrap();
+        assert!(cmd_serve(&a)
+            .unwrap_err()
+            .contains("--socket and/or --listen"));
+        // submit: exactly one transport.
+        let a = args(&["submit", "--ping"]).unwrap();
+        assert!(cmd_submit(&a).unwrap_err().contains("--socket or --addr"));
+        let a = args(&[
+            "submit",
+            "--ping",
+            "--socket",
+            "/tmp/f.sock",
+            "--addr",
+            "1.2.3.4:1",
+        ])
+        .unwrap();
+        assert!(cmd_submit(&a).unwrap_err().contains("not both"));
     }
 
     #[test]

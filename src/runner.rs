@@ -257,6 +257,47 @@ pub fn custom_cell_key(
     )
 }
 
+/// Resolves an L1 preset by its published column name, case-insensitively
+/// (`"dy-fuse"` → [`L1Preset::DyFuse`]).
+pub fn preset_by_name(name: &str) -> Option<L1Preset> {
+    L1Preset::ALL
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+}
+
+/// The serving side of the [`fuse_serve::CellBackend`] seam: keys and
+/// simulations resolved through the same [`RunConfig`] every other entry
+/// point uses, so a cell served over a socket is bit-identical to one run
+/// locally. Shared by `fusesim serve` and the `serve_load` bench.
+pub struct ServeBackend {
+    rc: RunConfig,
+}
+
+impl ServeBackend {
+    /// A backend simulating under `rc`.
+    pub fn new(rc: RunConfig) -> ServeBackend {
+        ServeBackend { rc }
+    }
+}
+
+impl fuse_serve::CellBackend for ServeBackend {
+    fn key(&self, spec: &fuse_serve::proto::CellSpec) -> Result<CellKey, String> {
+        let w = fuse_workloads::by_name(&spec.workload)
+            .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
+        let p = preset_by_name(&spec.config)
+            .ok_or_else(|| format!("unknown config {:?}", spec.config))?;
+        Ok(preset_cell_key(&w, p, &self.rc))
+    }
+
+    fn simulate(&self, spec: &fuse_serve::proto::CellSpec) -> Result<CellRecord, String> {
+        let w = fuse_workloads::by_name(&spec.workload)
+            .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
+        let p = preset_by_name(&spec.config)
+            .ok_or_else(|| format!("unknown config {:?}", spec.config))?;
+        Ok(run_workload(&w, p, &self.rc).to_record())
+    }
+}
+
 fn cell_key(spec: &WorkloadSpec, l1: L1Column<'_>, rc: &RunConfig) -> CellKey {
     CellKey::derive(&KeyParts {
         workload: spec,
